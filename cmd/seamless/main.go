@@ -1,0 +1,268 @@
+// Command seamless is the command-line front end of the Seamless analog —
+// the counterpart of the paper's "seamless command line utility" (§IV.B).
+//
+// Usage:
+//
+//	seamless check <file.sl>                     parse + report functions
+//	seamless build <file.sl>                     AOT-compile all annotated functions (§IV.B)
+//	seamless run <file.sl> <func> [args...]      compile and run (args: 1 2.5 true [1,2,3])
+//	seamless interp <file.sl> <func> [args...]   run on the bytecode interpreter
+//	seamless disasm <file.sl> <func> [args...]   show bytecode for the arg types
+//	seamless bench <file.sl> <func> [args...]    time interpreter vs compiled
+//
+// Kernels may call the bundled libm (sin, atan2, hypot, ...); it is bound
+// automatically.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"odinhpc/internal/seamless"
+	"odinhpc/internal/seamless/compile"
+	"odinhpc/internal/seamless/ffi"
+	"odinhpc/internal/seamless/vm"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "seamless:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: seamless <check|run|interp|disasm|bench> <file.sl> [func [args...]]")
+	}
+	cmd, path := args[0], args[1]
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	prog, err := seamless.CompileSource(string(src))
+	if err != nil {
+		return err
+	}
+	if libm, err := ffi.OpenM(); err == nil {
+		libm.BindAll(prog)
+	}
+
+	if cmd == "check" {
+		for _, fn := range prog.Module.Funcs {
+			params := make([]string, len(fn.Params))
+			for i, p := range fn.Params {
+				params[i] = p.Name
+				if p.Ann != seamless.TUnknown {
+					params[i] += ": " + p.Ann.String()
+				}
+			}
+			ret := ""
+			if fn.RetAnn != seamless.TUnknown {
+				ret = " -> " + fn.RetAnn.String()
+			}
+			fmt.Printf("def %s(%s)%s\n", fn.Name, strings.Join(params, ", "), ret)
+		}
+		return nil
+	}
+
+	if cmd == "build" {
+		// Static ("ahead-of-time") compilation: every function whose
+		// parameters are fully annotated is specialized and compiled now,
+		// the analog of generating an extension module (§IV.B).
+		eng := compile.NewEngine(prog)
+		built := 0
+		for _, fn := range prog.Module.Funcs {
+			types := make([]seamless.Type, len(fn.Params))
+			ok := true
+			for i, p := range fn.Params {
+				if p.Ann == seamless.TUnknown {
+					ok = false
+					break
+				}
+				types[i] = p.Ann
+			}
+			if !ok {
+				fmt.Printf("skip   %s (unannotated parameters; compiled lazily per call type)\n", fn.Name)
+				continue
+			}
+			tf, err := prog.Specialize(fn.Name, types)
+			if err != nil {
+				return fmt.Errorf("build %s: %w", fn.Name, err)
+			}
+			if _, err := eng.CompileFor(tf); err != nil {
+				return fmt.Errorf("build %s: %w", fn.Name, err)
+			}
+			sig := make([]string, len(types))
+			for i, ty := range types {
+				sig[i] = ty.String()
+			}
+			fmt.Printf("built  %s(%s) -> %s\n", fn.Name, strings.Join(sig, ", "), tf.Ret)
+			built++
+		}
+		fmt.Printf("%d function(s) compiled ahead of time\n", built)
+		return nil
+	}
+
+	if len(args) < 3 {
+		return fmt.Errorf("%s needs a function name", cmd)
+	}
+	name := args[2]
+	vals, err := parseArgs(args[3:])
+	if err != nil {
+		return err
+	}
+	types := make([]seamless.Type, len(vals))
+	for i, v := range vals {
+		types[i] = v.K
+	}
+
+	switch cmd {
+	case "run":
+		eng := compile.NewEngine(prog)
+		out, err := eng.Call(name, vals...)
+		if err != nil {
+			return err
+		}
+		fmt.Println(render(out))
+		return nil
+	case "interp":
+		eng := vm.NewEngine(prog)
+		out, err := eng.Call(name, vals...)
+		if err != nil {
+			return err
+		}
+		fmt.Println(render(out))
+		return nil
+	case "disasm":
+		tf, err := prog.Specialize(name, types)
+		if err != nil {
+			return err
+		}
+		p, err := vm.NewEngine(prog).ProcFor(tf)
+		if err != nil {
+			return err
+		}
+		fmt.Print(p.Disassemble())
+		return nil
+	case "bench":
+		ve := vm.NewEngine(prog)
+		ce := compile.NewEngine(prog)
+		if _, err := ve.Call(name, vals...); err != nil {
+			return err
+		}
+		if _, err := ce.Call(name, vals...); err != nil {
+			return err
+		}
+		tv := best(func() { ve.Call(name, vals...) })
+		tc := best(func() { ce.Call(name, vals...) })
+		fmt.Printf("interpreted: %v\ncompiled:    %v\nspeedup:     %.1fx\n",
+			tv, tc, float64(tv)/float64(tc))
+		return nil
+	}
+	return fmt.Errorf("unknown command %q", cmd)
+}
+
+func best(f func()) time.Duration {
+	bestD := time.Duration(1<<63 - 1)
+	for i := 0; i < 5; i++ {
+		start := time.Now()
+		f()
+		if d := time.Since(start); d < bestD {
+			bestD = d
+		}
+	}
+	return bestD
+}
+
+// parseArgs converts CLI literals: 42 -> int, 2.5 -> float, true/false ->
+// bool, [1,2,3] -> float array, i[1,2] -> int array, fNNN -> a float array
+// of NNN elements 0..NNN-1 (for benching large inputs).
+func parseArgs(raw []string) ([]seamless.Value, error) {
+	out := make([]seamless.Value, 0, len(raw))
+	for _, s := range raw {
+		switch {
+		case s == "true" || s == "false":
+			out = append(out, seamless.BoolV(s == "true"))
+		case strings.HasPrefix(s, "[") && strings.HasSuffix(s, "]"):
+			var arr []float64
+			body := strings.Trim(s, "[]")
+			if body != "" {
+				for _, part := range strings.Split(body, ",") {
+					v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+					if err != nil {
+						return nil, fmt.Errorf("bad array element %q", part)
+					}
+					arr = append(arr, v)
+				}
+			}
+			out = append(out, seamless.ArrFV(arr))
+		case strings.HasPrefix(s, "i[") && strings.HasSuffix(s, "]"):
+			var arr []int64
+			body := strings.TrimSuffix(strings.TrimPrefix(s, "i["), "]")
+			if body != "" {
+				for _, part := range strings.Split(body, ",") {
+					v, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+					if err != nil {
+						return nil, fmt.Errorf("bad array element %q", part)
+					}
+					arr = append(arr, v)
+				}
+			}
+			out = append(out, seamless.ArrIV(arr))
+		case strings.HasPrefix(s, "f") && len(s) > 1 && isDigits(s[1:]):
+			n, _ := strconv.Atoi(s[1:])
+			arr := make([]float64, n)
+			for i := range arr {
+				arr[i] = float64(i)
+			}
+			out = append(out, seamless.ArrFV(arr))
+		case strings.ContainsAny(s, ".eE") && !isDigits(s):
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad literal %q", s)
+			}
+			out = append(out, seamless.FloatV(v))
+		default:
+			if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+				out = append(out, seamless.IntV(v))
+				continue
+			}
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad literal %q", s)
+			}
+			out = append(out, seamless.FloatV(v))
+		}
+	}
+	return out, nil
+}
+
+func isDigits(s string) bool {
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func render(v seamless.Value) string {
+	switch v.K {
+	case seamless.TArrFloat:
+		if len(v.AF) > 16 {
+			return fmt.Sprintf("float[%d] starting %v...", len(v.AF), v.AF[:8])
+		}
+		return fmt.Sprintf("%v", v.AF)
+	case seamless.TArrInt:
+		if len(v.AI) > 16 {
+			return fmt.Sprintf("int[%d] starting %v...", len(v.AI), v.AI[:8])
+		}
+		return fmt.Sprintf("%v", v.AI)
+	default:
+		return v.String()
+	}
+}

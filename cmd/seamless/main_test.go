@@ -1,0 +1,95 @@
+package main
+
+import (
+	"testing"
+
+	"odinhpc/internal/seamless"
+)
+
+func TestParseArgs(t *testing.T) {
+	vals, err := parseArgs([]string{"42", "2.5", "true", "false", "[1,2,3]", "i[4,5]", "f10", "1e-3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[0].K != seamless.TInt || vals[0].I != 42 {
+		t.Fatalf("int: %v", vals[0])
+	}
+	if vals[1].K != seamless.TFloat || vals[1].F != 2.5 {
+		t.Fatalf("float: %v", vals[1])
+	}
+	if !vals[2].B || vals[3].B {
+		t.Fatalf("bools: %v %v", vals[2], vals[3])
+	}
+	if vals[4].K != seamless.TArrFloat || len(vals[4].AF) != 3 || vals[4].AF[2] != 3 {
+		t.Fatalf("farr: %v", vals[4])
+	}
+	if vals[5].K != seamless.TArrInt || vals[5].AI[1] != 5 {
+		t.Fatalf("iarr: %v", vals[5])
+	}
+	if vals[6].K != seamless.TArrFloat || len(vals[6].AF) != 10 || vals[6].AF[9] != 9 {
+		t.Fatalf("f10: %v", vals[6])
+	}
+	if vals[7].K != seamless.TFloat || vals[7].F != 1e-3 {
+		t.Fatalf("exp float: %v", vals[7])
+	}
+}
+
+func TestParseArgsEmptyArrays(t *testing.T) {
+	vals, err := parseArgs([]string{"[]", "i[]"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals[0].AF) != 0 || len(vals[1].AI) != 0 {
+		t.Fatalf("empty arrays: %v %v", vals[0], vals[1])
+	}
+}
+
+func TestParseArgsErrors(t *testing.T) {
+	for _, bad := range [][]string{
+		{"[1,x]"},
+		{"i[1,y]"},
+		{"notanumber"},
+	} {
+		if _, err := parseArgs(bad); err == nil {
+			t.Errorf("%v accepted", bad)
+		}
+	}
+}
+
+func TestRenderValues(t *testing.T) {
+	long := make([]float64, 40)
+	if render(seamless.ArrFV(long)) == "" || render(seamless.ArrFV([]float64{1})) == "" {
+		t.Fatal("render float arrays")
+	}
+	ilong := make([]int64, 40)
+	if render(seamless.ArrIV(ilong)) == "" || render(seamless.IntV(3)) == "" {
+		t.Fatal("render others")
+	}
+}
+
+func TestRunSubcommands(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("no args accepted")
+	}
+	if err := run([]string{"run", "/nonexistent.sl", "f"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := run([]string{"frobnicate", "../../examples/kernels/demo.sl", "sum"}); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	// Happy paths against the shipped demo kernels.
+	for _, args := range [][]string{
+		{"check", "../../examples/kernels/demo.sl"},
+		{"build", "../../examples/kernels/demo.sl"},
+		{"run", "../../examples/kernels/demo.sl", "sum", "[1,2,3]"},
+		{"interp", "../../examples/kernels/demo.sl", "fib", "10"},
+		{"disasm", "../../examples/kernels/demo.sl", "polar", "1.0", "2.0"},
+	} {
+		if err := run(args); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+	if err := run([]string{"run", "../../examples/kernels/demo.sl"}); err == nil {
+		t.Fatal("missing function name accepted")
+	}
+}

@@ -1,0 +1,62 @@
+// Command solverbench is the experiment harness: each subcommand
+// regenerates one of the E1-E10 experiment tables recorded in
+// EXPERIMENTS.md (the constructed evaluation of the paper's claims — see
+// DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	solverbench <e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|all>
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+var experiments = []struct {
+	name string
+	desc string
+	run  func() error
+}{
+	{"e1", "control messages are tens of bytes (paper §III.B)", e1},
+	{"e2", "ufunc scaling: trivial parallelism (paper §III.D)", e2},
+	{"e3", "redistribution strategy selection (paper §III.D)", e3},
+	{"e4", "finite differences: boundary-only communication (paper §III.G)", e4},
+	{"e5", "loop fusion vs op-at-a-time temporaries (paper §III)", e5},
+	{"e6", "Seamless JIT: interpreted vs compiled kernels (paper §IV.A)", e6},
+	{"e7", "FFI call overhead (paper §IV.C)", e7},
+	{"e8", "ODIN arrays through Trilinos-analog solvers (paper §II/§V)", e8},
+	{"e9", "Table I feature parity", e9},
+	{"e10", "master is not a bottleneck (paper Fig. 1)", e10},
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	sel := os.Args[1]
+	ran := false
+	for _, e := range experiments {
+		if sel == e.name || sel == "all" {
+			ran = true
+			fmt.Printf("==== %s: %s ====\n", e.name, e.desc)
+			if err := e.run(); err != nil {
+				fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.name, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+	}
+	if !ran {
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: solverbench <experiment|all>")
+	for _, e := range experiments {
+		fmt.Fprintf(os.Stderr, "  %-4s %s\n", e.name, e.desc)
+	}
+}

@@ -1,0 +1,456 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"odinhpc/internal/bridge"
+	"odinhpc/internal/comm"
+	"odinhpc/internal/core"
+	"odinhpc/internal/dense"
+	"odinhpc/internal/direct"
+	"odinhpc/internal/distmap"
+	"odinhpc/internal/eigen"
+	"odinhpc/internal/galeri"
+	"odinhpc/internal/nonlinear"
+	"odinhpc/internal/partition"
+	"odinhpc/internal/precond"
+	"odinhpc/internal/seamless"
+	"odinhpc/internal/seamless/compile"
+	"odinhpc/internal/seamless/ffi"
+	"odinhpc/internal/seamless/vm"
+	"odinhpc/internal/solvers"
+	"odinhpc/internal/sparse"
+	"odinhpc/internal/teuchos"
+	"odinhpc/internal/tpetra"
+)
+
+const e6Corpus = `
+def sum(it):
+    res = 0.0
+    for i in range(len(it)):
+        res += it[i]
+    return res
+
+def dot(a, b):
+    acc = 0.0
+    for i in range(len(a)):
+        acc += a[i] * b[i]
+    return acc
+
+def saxpy(alpha, x, y):
+    for i in range(len(x)):
+        y[i] = alpha * x[i] + y[i]
+    return 0
+
+def mandel(cr, ci, maxiter):
+    zr = 0.0
+    zi = 0.0
+    n = 0
+    while n < maxiter and zr * zr + zi * zi <= 4.0:
+        t = zr * zr - zi * zi + cr
+        zi = 2.0 * zr * zi + ci
+        zr = t
+        n += 1
+    return n
+`
+
+// e6 times the Seamless kernels on the interpreter and the compiled engine
+// and compares against hand-written Go — the paper's central JIT claim.
+func e6() error {
+	progV, err := seamless.CompileSource(e6Corpus)
+	if err != nil {
+		return err
+	}
+	progC, err := seamless.CompileSource(e6Corpus)
+	if err != nil {
+		return err
+	}
+	ev := vm.NewEngine(progV)
+	ec := compile.NewEngine(progC)
+
+	const n = 1_000_000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i % 1000)
+		ys[i] = float64(i % 777)
+	}
+	goSum := func() float64 {
+		acc := 0.0
+		for _, v := range xs {
+			acc += v
+		}
+		return acc
+	}
+	goDot := func() float64 {
+		acc := 0.0
+		for i := range xs {
+			acc += xs[i] * ys[i]
+		}
+		return acc
+	}
+	goSaxpy := func() {
+		for i := range xs {
+			ys[i] = 2.5*xs[i] + ys[i]
+		}
+	}
+	goMandel := func() int64 {
+		zr, zi := 0.0, 0.0
+		var k int64
+		for k = 0; k < 3000 && zr*zr+zi*zi <= 4; k++ {
+			zr, zi = zr*zr-zi*zi-0.7436, 2*zr*zi+0.1318
+		}
+		return k
+	}
+
+	kernels := []struct {
+		name string
+		args []seamless.Value
+		gold func()
+	}{
+		{"sum", []seamless.Value{seamless.ArrFV(xs)}, func() { goSum() }},
+		{"dot", []seamless.Value{seamless.ArrFV(xs), seamless.ArrFV(ys)}, func() { goDot() }},
+		{"saxpy", []seamless.Value{seamless.FloatV(2.5), seamless.ArrFV(xs), seamless.ArrFV(ys)}, goSaxpy},
+		{"mandel", []seamless.Value{seamless.FloatV(-0.7436), seamless.FloatV(0.1318), seamless.IntV(3000)}, func() { goMandel() }},
+	}
+	fmt.Printf("%-8s %14s %14s %12s %14s %12s\n", "kernel", "interp", "compiled", "speedup", "native Go", "vs native")
+	for _, k := range kernels {
+		if _, err := ev.Call(k.name, k.args...); err != nil {
+			return err
+		}
+		if _, err := ec.Call(k.name, k.args...); err != nil {
+			return err
+		}
+		tv := bestOf(func() { ev.Call(k.name, k.args...) })
+		tc := bestOf(func() { ec.Call(k.name, k.args...) })
+		tg := bestOf(k.gold)
+		fmt.Printf("%-8s %14v %14v %11.1fx %14v %11.1fx\n",
+			k.name, tv, tc, float64(tv)/float64(tc), tg, float64(tc)/float64(tg))
+	}
+	fmt.Println("claim check: compilation recovers an order of magnitude over the")
+	fmt.Println("             interpreter; the residual gap to native Go is the")
+	fmt.Println("             closure-dispatch cost a true machine-code backend removes.")
+	return nil
+}
+
+// e7 measures FFI dispatch: native Go call, Library.Call through the parsed
+// header, and an extern call from inside a compiled kernel.
+func e7() error {
+	libm, err := ffi.OpenM()
+	if err != nil {
+		return err
+	}
+	prog, err := seamless.CompileSource(`
+def loop_atan2(n):
+    acc = 0.0
+    for i in range(n):
+        acc += atan2(1.0, float(i + 1))
+    return acc
+`)
+	if err != nil {
+		return err
+	}
+	libm.BindAll(prog)
+	ec := compile.NewEngine(prog)
+	if _, err := ec.Call("loop_atan2", seamless.IntV(1000)); err != nil {
+		return err
+	}
+	const iters = 1_000_000
+	tDirect := bestOf(func() {
+		acc := 0.0
+		for i := 0; i < iters; i++ {
+			acc += math.Atan2(1.0, float64(i+1))
+		}
+		_ = acc
+	})
+	viaLib := bestOf(func() {
+		acc := 0.0
+		for i := 0; i < iters/100; i++ {
+			v, _ := libm.Call("atan2", 1.0, float64(i+1))
+			acc += v
+		}
+		_ = acc
+	})
+	viaKernel := bestOf(func() {
+		ec.Call("loop_atan2", seamless.IntV(iters))
+	})
+	perDirect := float64(tDirect.Nanoseconds()) / iters
+	perLib := float64(viaLib.Nanoseconds()) / (iters / 100)
+	perKernel := float64(viaKernel.Nanoseconds()) / iters
+	fmt.Printf("%-34s %12s\n", "call path", "ns/call")
+	fmt.Printf("%-34s %12.1f\n", "native Go math.Atan2", perDirect)
+	fmt.Printf("%-34s %12.1f\n", "ffi Library.Call (boxed varargs)", perLib)
+	fmt.Printf("%-34s %12.1f\n", "extern inside compiled kernel", perKernel)
+	fmt.Println("claim check: in-kernel extern calls sit near native cost; the dynamic")
+	fmt.Println("             Library.Call path pays the ctypes-like boxing tax.")
+	return nil
+}
+
+// e8 is the paper's headline workflow measured: ODIN arrays through the
+// Trilinos-analog CG under each preconditioner, across grid sizes and rank
+// counts.
+func e8() error {
+	fmt.Printf("%6s %6s %-14s %8s %12s %12s\n", "nx", "P", "precond", "iters", "residual", "ms")
+	for _, nx := range []int{32, 64} {
+		for _, p := range []int{1, 4} {
+			for _, pc := range []string{"none", "jacobi", "ssor", "ilu0", "amg"} {
+				var iters int
+				var resid float64
+				var ms float64
+				err := comm.Run(p, func(c *comm.Comm) error {
+					ctx := core.NewContext(c)
+					n := nx * nx
+					m := distmap.NewBlock(n, c.Size())
+					a := galeri.Laplace2DDist(c, m, nx, nx)
+					h := 1.0 / float64(nx+1)
+					b := core.Full(ctx, h*h, []int{n}, core.Options{Map: m})
+					x := core.Zeros[float64](ctx, []int{n}, core.Options{Map: m})
+					var prec solvers.Preconditioner
+					var err error
+					switch pc {
+					case "jacobi":
+						prec, err = precond.NewJacobi(a)
+					case "ssor":
+						prec, err = precond.NewSSOR(a, 1.3, 1)
+					case "ilu0":
+						prec, err = precond.NewILU0(a)
+					case "amg":
+						prec, err = precond.NewAMG(a, precond.AMGOptions{})
+					}
+					if err != nil {
+						return err
+					}
+					params := teuchos.NewParameterList("s")
+					params.Set("method", "cg").Set("tolerance", 1e-8).Set("max iterations", 10000)
+					start := time.Now()
+					res, err := bridge.Solve(a, b, x, prec, params)
+					if err != nil {
+						return err
+					}
+					if !res.Converged {
+						return fmt.Errorf("%s nx=%d p=%d: %v", pc, nx, p, res)
+					}
+					if c.Rank() == 0 {
+						iters = res.Iterations
+						resid = res.Residual
+						ms = float64(time.Since(start).Microseconds()) / 1000
+					}
+					return nil
+				})
+				if err != nil {
+					return err
+				}
+				fmt.Printf("%6d %6d %-14s %8d %12.2e %12.2f\n", nx, p, pc, iters, resid, ms)
+			}
+		}
+	}
+	fmt.Println("claim check: pointwise preconditioners (none/jacobi) are exactly")
+	fmt.Println("             P-independent; the Schwarz family (ssor/ilu0/amg) weakens")
+	fmt.Println("             as subdomains shrink — the textbook one-level-Schwarz")
+	fmt.Println("             effect. AMG shows the flattest growth in nx.")
+	return nil
+}
+
+// e9 runs one reference problem through each Table I package analog and
+// prints the parity table.
+func e9() error {
+	type row struct {
+		pkg    string
+		module string
+		check  func() error
+	}
+	const p = 4
+	rows := []row{
+		{"Epetra/Tpetra (vectors, operators)", "internal/tpetra", func() error {
+			return comm.Run(p, func(c *comm.Comm) error {
+				m := distmap.NewBlock(1000, c.Size())
+				v := tpetra.NewVector(c, m)
+				v.PutScalar(2)
+				if v.Dot(v) != 4000 {
+					return fmt.Errorf("dot")
+				}
+				return nil
+			})
+		}},
+		{"EpetraExt (I/O, transposes, coloring)", "tpetra + sparse + partition", func() error {
+			if err := comm.Run(p, func(c *comm.Comm) error {
+				src := distmap.NewBlock(300, c.Size())
+				dst := distmap.NewCyclic(300, c.Size())
+				x := tpetra.NewVector(c, src)
+				x.FillFromGlobal(func(g int) float64 { return float64(g) })
+				y := tpetra.ImportVector(x, dst)
+				if y.GetGlobal(299) != 299 {
+					return fmt.Errorf("import")
+				}
+				// Export: off-rank contributions sum at the owner.
+				tpetra.ExportAdd(y, []int{0}, []float64{1})
+				// Distributed sparse transpose.
+				a := galeri.ConvDiff2DDist(c, distmap.NewBlock(36, c.Size()), 6, 6, 3, 1)
+				if !a.TransposeDist().TransposeDist().GatherCSR().Equal(a.GatherCSR()) {
+					return fmt.Errorf("transpose")
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			// MatrixMarket I/O round trip.
+			m := galeri.Laplace1D(12)
+			var b strings.Builder
+			if err := m.WriteMatrixMarket(&b); err != nil {
+				return err
+			}
+			back, err := sparse.ReadMatrixMarket(strings.NewReader(b.String()))
+			if err != nil || !back.Equal(m) {
+				return fmt.Errorf("matrixmarket: %v", err)
+			}
+			// Coloring.
+			colors := partition.GreedyColoring(galeri.Laplace2D(6, 6))
+			if !partition.ValidColoring(galeri.Laplace2D(6, 6), colors) {
+				return fmt.Errorf("coloring")
+			}
+			return nil
+		}},
+		{"Teuchos (parameter lists)", "internal/teuchos", func() error {
+			pl := teuchos.NewParameterList("t")
+			pl.Set("tol", 1e-9)
+			if pl.GetFloat("tol", 0) != 1e-9 {
+				return fmt.Errorf("paramlist")
+			}
+			return nil
+		}},
+		{"TriUtils (testing utilities)", "internal/galeri + harness", func() error {
+			if galeri.Laplace1D(10).NNZ() != 28 {
+				return fmt.Errorf("gallery")
+			}
+			return nil
+		}},
+		{"Isorropia (partitioning)", "internal/partition", func() error {
+			parts := partition.RCB(partition.GridCoords(16, 16), 4)
+			if partition.Imbalance(parts, 4) > 1.05 {
+				return fmt.Errorf("imbalance")
+			}
+			return nil
+		}},
+		{"AztecOO (Krylov solvers)", "internal/solvers", func() error {
+			return comm.Run(p, func(c *comm.Comm) error {
+				m := distmap.NewBlock(400, c.Size())
+				a := galeri.Laplace1DDist(c, m)
+				b := tpetra.NewVector(c, m)
+				b.PutScalar(1)
+				x := tpetra.NewVector(c, m)
+				res, err := solvers.CG(a, b, x, solvers.Options{Tol: 1e-8, MaxIter: 2000})
+				if err != nil || !res.Converged {
+					return fmt.Errorf("cg: %v %v", res, err)
+				}
+				return nil
+			})
+		}},
+		{"Galeri (example matrices/maps)", "internal/galeri", func() error {
+			if galeri.Laplace3D(4, 4, 4).Rows != 64 {
+				return fmt.Errorf("laplace3d")
+			}
+			return nil
+		}},
+		{"Amesos (direct solvers)", "internal/direct", func() error {
+			return comm.Run(p, func(c *comm.Comm) error {
+				m := distmap.NewBlock(60, c.Size())
+				a := galeri.Laplace1DDist(c, m)
+				b := tpetra.NewVector(c, m)
+				b.PutScalar(1)
+				x := tpetra.NewVector(c, m)
+				if err := direct.SolveOnce(a, b, x); err != nil {
+					return err
+				}
+				if solvers.ResidualNorm(a, b, x) > 1e-10 {
+					return fmt.Errorf("residual")
+				}
+				return nil
+			})
+		}},
+		{"Ifpack (algebraic preconditioners)", "internal/precond", func() error {
+			return comm.Run(p, func(c *comm.Comm) error {
+				m := distmap.NewBlock(20*20, c.Size())
+				a := galeri.Laplace2DDist(c, m, 20, 20)
+				if _, err := precond.NewILU0(a); err != nil {
+					return err
+				}
+				if _, err := precond.NewSSOR(a, 1.2, 1); err != nil {
+					return err
+				}
+				return nil
+			})
+		}},
+		{"Komplex (complex via real pairs)", "internal/dense (complex dtypes)", func() error {
+			a := dense.Full[complex128](complex(1.5, 2), 4)
+			if dense.Sum(a) != complex(6, 8) {
+				return fmt.Errorf("complex dtype arithmetic")
+			}
+			return nil
+		}},
+		{"Anasazi (eigensolvers)", "internal/eigen", func() error {
+			return comm.Run(p, func(c *comm.Comm) error {
+				m := distmap.NewBlock(40, c.Size())
+				a := galeri.Laplace1DDist(c, m)
+				model := tpetra.NewVector(c, m)
+				lo, hi, err := eigen.SpectralBounds(a, model, 25)
+				if err != nil {
+					return err
+				}
+				if lo <= 0 || hi > 4.01 {
+					return fmt.Errorf("bounds [%g %g]", lo, hi)
+				}
+				return nil
+			})
+		}},
+		{"ML (algebraic multigrid)", "internal/precond (AMG)", func() error {
+			amg, err := precond.NewSerialAMG(galeri.Laplace2D(24, 24), precond.AMGOptions{})
+			if err != nil {
+				return err
+			}
+			if amg.NumLevels() < 2 {
+				return fmt.Errorf("levels")
+			}
+			return nil
+		}},
+		{"NOX (nonlinear solvers)", "internal/nonlinear", func() error {
+			return comm.Run(p, func(c *comm.Comm) error {
+				m := distmap.NewBlock(31, c.Size())
+				x := tpetra.NewVector(c, m)
+				f := func(in, out *tpetra.Vector) {
+					for i := range out.Data {
+						out.Data[i] = in.Data[i]*in.Data[i]*in.Data[i] + in.Data[i] - 2
+					}
+				}
+				rep, err := nonlinear.NewtonKrylov(f, x, nonlinear.Options{Tol: 1e-10})
+				if err != nil || !rep.Converged {
+					return fmt.Errorf("newton: %v %v", rep, err)
+				}
+				return nil
+			})
+		}},
+	}
+	fmt.Printf("%-38s %-32s %s\n", "Trilinos package (paper Table I)", "module", "status")
+	for _, r := range rows {
+		status := "PASS"
+		if err := r.check(); err != nil {
+			status = "FAIL: " + err.Error()
+		}
+		fmt.Printf("%-38s %-32s %s\n", r.pkg, r.module, status)
+	}
+	return nil
+}
+
+func bestOf(f func()) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		f()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
+}

@@ -1,0 +1,29 @@
+# Sample kernels for the seamless CLI.
+# Try:
+#   go run ./cmd/seamless check  examples/kernels/demo.sl
+#   go run ./cmd/seamless run    examples/kernels/demo.sl sum [1,2,3.5]
+#   go run ./cmd/seamless run    examples/kernels/demo.sl fib 20
+#   go run ./cmd/seamless disasm examples/kernels/demo.sl polar 1.0 1.0
+#   go run ./cmd/seamless bench  examples/kernels/demo.sl sum f500000
+
+def sum(it):
+    res = 0.0
+    for i in range(len(it)):
+        res += it[i]
+    return res
+
+def fib(n) -> int:
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+
+def polar(y, x):
+    # libm is bound automatically: atan2/hypot come from the FFI layer.
+    return atan2(y, x) * hypot(x, y)
+
+def axpy(alpha: float, x: float[:], y: float[:]) -> float:
+    # Fully annotated: eligible for ahead-of-time compilation via
+    # `seamless build`.
+    for i in range(len(x)):
+        y[i] = alpha * x[i] + y[i]
+    return y[0]

@@ -1,0 +1,117 @@
+// Seamlessdemo exercises all four Seamless features of paper §IV on one
+// program:
+//
+//  1. JIT: the decorated sum kernel runs interpreted and compiled, and the
+//     speedup is printed (§IV.A).
+//  2. Static compilation stand-in: the same source compiles once and is
+//     reused as a native function value (§IV.B).
+//  3. FFI: libm is opened from its header and atan2 becomes callable with
+//     auto-discovered signatures, both directly and from kernels (§IV.C).
+//  4. Export: the kernel is handed to Go code as a plain func and used on a
+//     Go slice, the seamless::numpy::sum(arr) example (§IV.D).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"odinhpc/internal/seamless"
+	"odinhpc/internal/seamless/compile"
+	"odinhpc/internal/seamless/export"
+	"odinhpc/internal/seamless/ffi"
+	"odinhpc/internal/seamless/vm"
+)
+
+const src = `
+# @jit
+def sum(it):
+    res = 0.0
+    for i in range(len(it)):
+        res += it[i]
+    return res
+
+def angle(y, x):
+    return atan2(y, x)
+`
+
+func main() {
+	n := flag.Int("n", 1_000_000, "kernel input length")
+	flag.Parse()
+
+	data := make([]float64, *n)
+	for i := range data {
+		data[i] = float64(i % 1000)
+	}
+	arg := seamless.ArrFV(data)
+
+	// --- 1+3. Parse once, bind libm, build both engines. -----------------
+	progVM, err := seamless.CompileSource(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	progJIT, err := seamless.CompileSource(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	libm, err := ffi.OpenM()
+	if err != nil {
+		log.Fatal(err)
+	}
+	libm.BindAll(progVM)
+	libm.BindAll(progJIT)
+
+	interp := vm.NewEngine(progVM)
+	jit := compile.NewEngine(progJIT)
+
+	// Warm both engines (specialization happens on first call, like a JIT).
+	if _, err := interp.Call("sum", arg); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := jit.Call("sum", arg); err != nil {
+		log.Fatal(err)
+	}
+
+	timeIt := func(f func()) time.Duration {
+		best := time.Duration(math.MaxInt64)
+		for r := 0; r < 3; r++ {
+			start := time.Now()
+			f()
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	tV := timeIt(func() { interp.Call("sum", arg) })
+	tJ := timeIt(func() { jit.Call("sum", arg) })
+	out, _ := jit.Call("sum", arg)
+
+	fmt.Printf("sum of %d elements = %.0f\n", *n, out.F)
+	fmt.Printf("interpreted (CPython stand-in) : %v\n", tV)
+	fmt.Printf("compiled    (@jit stand-in)    : %v\n", tJ)
+	fmt.Printf("speedup                        : %.1fx\n", float64(tV)/float64(tJ))
+
+	// --- 3. FFI: the two-line cmath example. -----------------------------
+	at, err := libm.Call("atan2", 1.0, 2.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("libm.atan2(1.0, 2.0)           : %.8f\n", at)
+	angle, err := jit.Call("angle", seamless.FloatV(1), seamless.FloatV(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("kernel angle(1,1) via FFI      : %.8f (pi/4 = %.8f)\n", angle.F, math.Pi/4)
+
+	// --- 4. Export: the kernel as a plain Go func. ------------------------
+	exp := export.New(progJIT)
+	sumFn, err := exp.SliceToScalar("sum")
+	if err != nil {
+		log.Fatal(err)
+	}
+	goSlice := []float64{1, 2, 3, 4.5}
+	fmt.Printf("exported sum([]float64{...})   : %.1f\n", sumFn(goSlice))
+}

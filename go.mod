@@ -1,0 +1,3 @@
+module odinhpc
+
+go 1.22

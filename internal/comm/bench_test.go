@@ -1,0 +1,88 @@
+package comm
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkP2P measures one eager send + matched receive.
+func BenchmarkP2P(b *testing.B) {
+	for _, size := range []int{8, 8192} {
+		b.Run(fmt.Sprintf("bytes=%d", size), func(b *testing.B) {
+			payload := make([]byte, size)
+			err := Run(2, func(c *Comm) error {
+				if c.Rank() == 0 {
+					for i := 0; i < b.N; i++ {
+						c.Send(1, i, payload)
+					}
+				} else {
+					for i := 0; i < b.N; i++ {
+						c.Recv(0, i)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkAllreduce measures the reduce+bcast collective across ranks.
+func BenchmarkAllreduce(b *testing.B) {
+	for _, p := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			err := Run(p, func(c *Comm) error {
+				in := []float64{1, 2, 3, 4}
+				for i := 0; i < b.N; i++ {
+					_ = Allreduce(c, in, OpSum)
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkBarrier measures the dissemination barrier.
+func BenchmarkBarrier(b *testing.B) {
+	for _, p := range []int{2, 8} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			err := Run(p, func(c *Comm) error {
+				for i := 0; i < b.N; i++ {
+					c.Barrier()
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkAlltoall measures the dense exchange used by redistribution,
+// gather plans, and the table shuffle.
+func BenchmarkAlltoall(b *testing.B) {
+	const per = 256
+	for _, p := range []int{4, 8} {
+		b.Run(fmt.Sprintf("P=%d", p), func(b *testing.B) {
+			err := Run(p, func(c *Comm) error {
+				parts := make([][]float64, p)
+				for d := range parts {
+					parts[d] = make([]float64, per)
+				}
+				for i := 0; i < b.N; i++ {
+					_ = Alltoall(c, parts)
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,245 @@
+// Package comm implements an in-process message-passing runtime that stands
+// in for MPI in this reproduction. A communicator of P ranks is simulated by
+// P goroutines sharing a fabric of mailboxes. The package provides tagged
+// point-to-point messaging, the standard collective operations, per-rank
+// traffic accounting, and an optional latency/bandwidth cost model.
+//
+// The paper's claims about ODIN and PyTrilinos concern communication
+// *structure* — how many messages move, how large they are, and between which
+// ranks — rather than wire speed. This substrate exposes exactly those
+// quantities deterministically (see Stats and CostModel), which is what the
+// E1/E3/E4/E10 experiments measure.
+package comm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// AnySource matches a message from any sender in Recv.
+const AnySource = -1
+
+// AnyTag matches a message with any tag in Recv.
+const AnyTag = -1
+
+// Message is a received point-to-point message. Payload holds the data that
+// was sent; slices are copied on send so the receiver may mutate freely.
+type Message struct {
+	Src     int
+	Tag     int
+	Payload any
+}
+
+// mailbox is the per-destination message queue. Receivers scan it for a
+// matching (src, tag) pair and block on the condition variable otherwise.
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []Message
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// fabric is the shared state of one communicator: one mailbox per rank plus
+// traffic statistics and the cost model.
+type fabric struct {
+	size  int
+	boxes []*mailbox
+	stats *Stats
+	model *CostModel
+}
+
+// Comm is one rank's handle on the communicator. It is owned by a single
+// goroutine; methods on distinct Comm values may be called concurrently.
+type Comm struct {
+	rank    int
+	size    int
+	f       *fabric
+	collSeq int     // per-rank collective sequence number (SPMD-synchronized)
+	simTime float64 // accumulated modeled communication time, seconds
+}
+
+// Rank returns this rank's index in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return c.size }
+
+// Run spawns size ranks, each executing fn with its own Comm, and waits for
+// all of them. It returns the first non-nil error returned by any rank; a
+// panic in one rank is captured and reported as an error rather than
+// crashing the process.
+func Run(size int, fn func(c *Comm) error) error {
+	_, err := RunStats(size, fn)
+	return err
+}
+
+// RunStats is Run but also returns the communicator's traffic statistics.
+func RunStats(size int, fn func(c *Comm) error) (*Stats, error) {
+	return RunModel(size, nil, fn)
+}
+
+// RunModel is RunStats with an explicit cost model applied to every message.
+// A nil model disables time accounting.
+func RunModel(size int, model *CostModel, fn func(c *Comm) error) (*Stats, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("comm: size must be positive, got %d", size)
+	}
+	f := &fabric{
+		size:  size,
+		boxes: make([]*mailbox, size),
+		stats: newStats(size),
+		model: model,
+	}
+	for i := range f.boxes {
+		f.boxes[i] = newMailbox()
+	}
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("comm: rank %d panicked: %v", rank, p)
+				}
+			}()
+			errs[rank] = fn(&Comm{rank: rank, size: size, f: f})
+		}(r)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return f.stats, e
+		}
+	}
+	return f.stats, nil
+}
+
+// Send delivers data to rank dst with the given tag. Sends are eager and
+// never block. Slice payloads are copied, mimicking an MPI buffer copy, so
+// the sender may reuse its buffer immediately.
+func (c *Comm) Send(dst, tag int, data any) {
+	if dst < 0 || dst >= c.size {
+		panic(fmt.Sprintf("comm: Send to invalid rank %d (size %d)", dst, c.size))
+	}
+	n := payloadBytes(data)
+	c.f.stats.record(c.rank, dst, n)
+	if c.f.model != nil {
+		c.simTime += c.f.model.Time(n)
+	}
+	box := c.f.boxes[dst]
+	box.mu.Lock()
+	box.queue = append(box.queue, Message{Src: c.rank, Tag: tag, Payload: copyPayload(data)})
+	box.mu.Unlock()
+	box.cond.Broadcast()
+}
+
+// Recv blocks until a message matching (src, tag) arrives and returns its
+// payload. Use AnySource and/or AnyTag as wildcards.
+func (c *Comm) Recv(src, tag int) any {
+	return c.RecvMsg(src, tag).Payload
+}
+
+// RecvMsg is Recv but returns the full message envelope, exposing the actual
+// source and tag (useful with wildcards).
+func (c *Comm) RecvMsg(src, tag int) Message {
+	box := c.f.boxes[c.rank]
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	for {
+		for i, m := range box.queue {
+			if (src == AnySource || m.Src == src) && (tag == AnyTag || m.Tag == tag) {
+				box.queue = append(box.queue[:i], box.queue[i+1:]...)
+				if c.f.model != nil {
+					c.simTime += c.f.model.Time(payloadBytes(m.Payload))
+				}
+				return m
+			}
+		}
+		box.cond.Wait()
+	}
+}
+
+// Probe reports whether a message matching (src, tag) is waiting, without
+// receiving it.
+func (c *Comm) Probe(src, tag int) bool {
+	box := c.f.boxes[c.rank]
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	for _, m := range box.queue {
+		if (src == AnySource || m.Src == src) && (tag == AnyTag || m.Tag == tag) {
+			return true
+		}
+	}
+	return false
+}
+
+// SendRecv sends sendData to dst and receives a message from src with the
+// same tag, in a deadlock-free order (sends are eager).
+func (c *Comm) SendRecv(dst int, sendData any, src, tag int) any {
+	c.Send(dst, tag, sendData)
+	return c.Recv(src, tag)
+}
+
+// Stats returns a snapshot of the communicator-wide traffic statistics.
+func (c *Comm) Stats() StatsSnapshot { return c.f.stats.snapshot() }
+
+// ResetStats zeroes the communicator-wide traffic counters. Call it from a
+// single rank after a Barrier to delimit a measurement region.
+func (c *Comm) ResetStats() { c.f.stats.reset() }
+
+// SimTime returns the modeled communication time accumulated by this rank
+// under the cost model passed to RunModel, in seconds. Zero without a model.
+func (c *Comm) SimTime() float64 { return c.simTime }
+
+// copyPayload deep-copies slice payloads of the common element types so that
+// sender and receiver never alias memory, as on a real network. Non-slice
+// values are returned as-is (they are copied by value anyway).
+func copyPayload(data any) any {
+	switch v := data.(type) {
+	case []float64:
+		out := make([]float64, len(v))
+		copy(out, v)
+		return out
+	case []float32:
+		out := make([]float32, len(v))
+		copy(out, v)
+		return out
+	case []int:
+		out := make([]int, len(v))
+		copy(out, v)
+		return out
+	case []int64:
+		out := make([]int64, len(v))
+		copy(out, v)
+		return out
+	case []int32:
+		out := make([]int32, len(v))
+		copy(out, v)
+		return out
+	case []byte:
+		out := make([]byte, len(v))
+		copy(out, v)
+		return out
+	case []bool:
+		out := make([]bool, len(v))
+		copy(out, v)
+		return out
+	case []complex128:
+		out := make([]complex128, len(v))
+		copy(out, v)
+		return out
+	case []string:
+		out := make([]string, len(v))
+		copy(out, v)
+		return out
+	default:
+		return data
+	}
+}

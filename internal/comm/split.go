@@ -1,0 +1,78 @@
+package comm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Split partitions the communicator into disjoint sub-communicators, one
+// per distinct color, exactly like MPI_Comm_split: every rank passes a
+// color and a key; ranks sharing a color form a new communicator ordered
+// by (key, old rank). A negative color opts the rank out (it receives nil).
+// Collective.
+//
+// Each sub-communicator gets its own fabric (mailboxes, statistics, the
+// parent's cost model), so traffic inside a subgroup is invisible to
+// siblings, as with real MPI communicators.
+func (c *Comm) Split(color, key int) *Comm {
+	type entry struct{ color, key, rank int }
+	// Gather everyone's (color, key).
+	mine := []int{color, key}
+	all := Allgather(c, mine)
+	entries := make([]entry, c.size)
+	for r, kv := range all {
+		entries[r] = entry{color: kv[0], key: kv[1], rank: r}
+	}
+	// My group, ordered by (key, rank).
+	var group []entry
+	for _, e := range entries {
+		if color >= 0 && e.color == color {
+			group = append(group, e)
+		}
+	}
+	sort.Slice(group, func(a, b int) bool {
+		if group[a].key != group[b].key {
+			return group[a].key < group[b].key
+		}
+		return group[a].rank < group[b].rank
+	})
+	newRank := -1
+	for i, e := range group {
+		if e.rank == c.rank {
+			newRank = i
+		}
+	}
+
+	// The lowest old rank of each group builds the shared fabric and ships
+	// the pointer to the members (in-process "communicator context" hand-
+	// off); a reserved tag namespace keeps it clear of user traffic.
+	seq := c.nextColl()
+	tag := collTag(seq, 7)
+	if color < 0 {
+		return nil
+	}
+	leader := group[0].rank
+	var f *fabric
+	if c.rank == leader {
+		f = &fabric{
+			size:  len(group),
+			boxes: make([]*mailbox, len(group)),
+			stats: newStats(len(group)),
+			model: c.f.model,
+		}
+		for i := range f.boxes {
+			f.boxes[i] = newMailbox()
+		}
+		for _, e := range group {
+			if e.rank != c.rank {
+				c.Send(e.rank, tag, f)
+			}
+		}
+	} else {
+		f = c.Recv(leader, tag).(*fabric)
+	}
+	if newRank < 0 {
+		panic(fmt.Sprintf("comm: Split bookkeeping lost rank %d", c.rank))
+	}
+	return &Comm{rank: newRank, size: len(group), f: f}
+}

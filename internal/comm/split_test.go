@@ -1,0 +1,121 @@
+package comm
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSplitEvenOdd(t *testing.T) {
+	err := Run(6, func(c *Comm) error {
+		sub := c.Split(c.Rank()%2, c.Rank())
+		if sub == nil {
+			return fmt.Errorf("rank %d got nil subcomm", c.Rank())
+		}
+		if sub.Size() != 3 {
+			return fmt.Errorf("sub size %d", sub.Size())
+		}
+		if want := c.Rank() / 2; sub.Rank() != want {
+			return fmt.Errorf("old rank %d: sub rank %d want %d", c.Rank(), sub.Rank(), want)
+		}
+		// Independent collectives per subgroup: sum of old ranks.
+		sum := AllreduceScalar(sub, c.Rank(), OpSum)
+		want := 0 + 2 + 4
+		if c.Rank()%2 == 1 {
+			want = 1 + 3 + 5
+		}
+		if sum != want {
+			return fmt.Errorf("subgroup sum %d want %d", sum, want)
+		}
+		// And the parent communicator still works afterwards.
+		total := AllreduceScalar(c, 1, OpSum)
+		if total != 6 {
+			return fmt.Errorf("parent allreduce %d", total)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitKeyOrdering(t *testing.T) {
+	// Reversed keys reverse the subgroup ranks.
+	err := Run(4, func(c *Comm) error {
+		sub := c.Split(0, -c.Rank())
+		if sub.Rank() != c.Size()-1-c.Rank() {
+			return fmt.Errorf("old %d -> sub %d", c.Rank(), sub.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitOptOut(t *testing.T) {
+	err := Run(5, func(c *Comm) error {
+		color := 0
+		if c.Rank() == 2 {
+			color = -1
+		}
+		sub := c.Split(color, 0)
+		if c.Rank() == 2 {
+			if sub != nil {
+				return fmt.Errorf("opted-out rank got a subcomm")
+			}
+			return nil
+		}
+		if sub == nil || sub.Size() != 4 {
+			return fmt.Errorf("subcomm wrong: %v", sub)
+		}
+		if got := AllreduceScalar(sub, 1, OpSum); got != 4 {
+			return fmt.Errorf("subgroup size via allreduce: %d", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitSingletons(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		sub := c.Split(c.Rank(), 0) // every rank its own color
+		if sub.Size() != 1 || sub.Rank() != 0 {
+			return fmt.Errorf("singleton: size %d rank %d", sub.Size(), sub.Rank())
+		}
+		// Collectives on a singleton are trivially correct.
+		if got := AllreduceScalar(sub, 42, OpSum); got != 42 {
+			return fmt.Errorf("singleton allreduce %d", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitTrafficIsolated(t *testing.T) {
+	// Subgroup traffic must not appear in the parent's statistics.
+	stats, err := RunStats(4, func(c *Comm) error {
+		sub := c.Split(c.Rank()/2, 0)
+		c.Barrier()
+		if c.Rank() == 0 {
+			c.ResetStats()
+		}
+		c.Barrier()
+		// Heavy subgroup traffic.
+		if sub.Rank() == 0 {
+			sub.Send(1, 0, make([]float64, 1000))
+		} else {
+			sub.Recv(0, 0)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.Snapshot().TotalBytes(); got > 64 {
+		t.Fatalf("subgroup traffic leaked into parent stats: %d bytes", got)
+	}
+}

@@ -1,0 +1,222 @@
+package comm
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+)
+
+// Stats accumulates per-pair message and byte counts for a communicator.
+// It is shared by all ranks and guarded by a mutex; the simulation favors
+// accuracy over throughput here.
+type Stats struct {
+	mu    sync.Mutex
+	size  int
+	msgs  []int64 // size*size, row-major [src*size+dst]
+	bytes []int64
+}
+
+func newStats(size int) *Stats {
+	return &Stats{
+		size:  size,
+		msgs:  make([]int64, size*size),
+		bytes: make([]int64, size*size),
+	}
+}
+
+func (s *Stats) record(src, dst int, n int64) {
+	s.mu.Lock()
+	s.msgs[src*s.size+dst]++
+	s.bytes[src*s.size+dst] += n
+	s.mu.Unlock()
+}
+
+func (s *Stats) reset() {
+	s.mu.Lock()
+	for i := range s.msgs {
+		s.msgs[i] = 0
+		s.bytes[i] = 0
+	}
+	s.mu.Unlock()
+}
+
+// Snapshot returns an immutable copy of the current counters.
+func (s *Stats) Snapshot() StatsSnapshot { return s.snapshot() }
+
+func (s *Stats) snapshot() StatsSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := StatsSnapshot{
+		Size:  s.size,
+		Msgs:  make([]int64, len(s.msgs)),
+		Bytes: make([]int64, len(s.bytes)),
+	}
+	copy(snap.Msgs, s.msgs)
+	copy(snap.Bytes, s.bytes)
+	return snap
+}
+
+// StatsSnapshot is an immutable copy of communicator traffic counters.
+type StatsSnapshot struct {
+	Size  int
+	Msgs  []int64 // [src*Size+dst]
+	Bytes []int64
+}
+
+// MsgCount returns the number of messages sent from src to dst.
+func (s StatsSnapshot) MsgCount(src, dst int) int64 { return s.Msgs[src*s.Size+dst] }
+
+// ByteCount returns the number of payload bytes sent from src to dst.
+func (s StatsSnapshot) ByteCount(src, dst int) int64 { return s.Bytes[src*s.Size+dst] }
+
+// TotalMsgs returns the total number of messages sent on the communicator.
+func (s StatsSnapshot) TotalMsgs() int64 {
+	var t int64
+	for _, v := range s.Msgs {
+		t += v
+	}
+	return t
+}
+
+// TotalBytes returns the total payload bytes sent on the communicator.
+func (s StatsSnapshot) TotalBytes() int64 {
+	var t int64
+	for _, v := range s.Bytes {
+		t += v
+	}
+	return t
+}
+
+// RankSentBytes returns total bytes sent by the given rank to anyone.
+func (s StatsSnapshot) RankSentBytes(rank int) int64 {
+	var t int64
+	for dst := 0; dst < s.Size; dst++ {
+		t += s.Bytes[rank*s.Size+dst]
+	}
+	return t
+}
+
+// RankRecvBytes returns total bytes received by the given rank from anyone.
+func (s StatsSnapshot) RankRecvBytes(rank int) int64 {
+	var t int64
+	for src := 0; src < s.Size; src++ {
+		t += s.Bytes[src*s.Size+rank]
+	}
+	return t
+}
+
+// MasterBytes returns bytes that pass through rank 0 in either direction —
+// the quantity experiment E10 tracks to show the ODIN master process does not
+// become a bottleneck.
+func (s StatsSnapshot) MasterBytes() int64 {
+	t := s.RankSentBytes(0) + s.RankRecvBytes(0)
+	// Messages rank 0 sends itself were counted twice above.
+	t -= 2 * s.Bytes[0]
+	return t + s.Bytes[0]
+}
+
+// WorkerBytes returns bytes exchanged strictly between non-zero ranks — the
+// direct worker-to-worker traffic of the paper's Fig. 1.
+func (s StatsSnapshot) WorkerBytes() int64 {
+	var t int64
+	for src := 1; src < s.Size; src++ {
+		for dst := 1; dst < s.Size; dst++ {
+			t += s.Bytes[src*s.Size+dst]
+		}
+	}
+	return t
+}
+
+// String renders the byte matrix, one row per source rank.
+func (s StatsSnapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "traffic bytes (%d ranks):\n", s.Size)
+	for src := 0; src < s.Size; src++ {
+		fmt.Fprintf(&b, "  rank %2d:", src)
+		for dst := 0; dst < s.Size; dst++ {
+			fmt.Fprintf(&b, " %8d", s.Bytes[src*s.Size+dst])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CostModel assigns a modeled transfer time to a message of n bytes using
+// the classic alpha-beta (latency + bandwidth) model.
+type CostModel struct {
+	LatencySec     float64 // alpha: fixed per-message cost
+	SecondsPerByte float64 // beta: inverse bandwidth
+}
+
+// Time returns the modeled seconds to move n payload bytes.
+func (m *CostModel) Time(n int64) float64 {
+	return m.LatencySec + float64(n)*m.SecondsPerByte
+}
+
+// EthernetLike returns a cost model resembling 10GbE with ~20us latency,
+// useful for what-if experiments on communication strategies.
+func EthernetLike() *CostModel {
+	return &CostModel{LatencySec: 20e-6, SecondsPerByte: 1.0 / 1.25e9}
+}
+
+// payloadBytes estimates the wire size of a payload. Slices of the common
+// numeric types are sized exactly; other types fall back to reflection and,
+// failing that, to a flat envelope size. Control messages in ODIN are structs
+// of a few ints, so the fallback path keeps them "tens of bytes" as the paper
+// describes.
+func payloadBytes(data any) int64 {
+	switch v := data.(type) {
+	case nil:
+		return 0
+	case []float64:
+		return int64(8 * len(v))
+	case []float32:
+		return int64(4 * len(v))
+	case []int:
+		return int64(8 * len(v))
+	case []int64:
+		return int64(8 * len(v))
+	case []int32:
+		return int64(4 * len(v))
+	case []byte:
+		return int64(len(v))
+	case []bool:
+		return int64(len(v))
+	case []complex128:
+		return int64(16 * len(v))
+	case []string:
+		var t int64
+		for _, s := range v {
+			t += int64(len(s))
+		}
+		return t
+	case float64, int, int64, uint64:
+		return 8
+	case float32, int32, uint32:
+		return 4
+	case bool, byte:
+		return 1
+	case string:
+		return int64(len(v))
+	}
+	rv := reflect.ValueOf(data)
+	switch rv.Kind() {
+	case reflect.Slice, reflect.Array:
+		if rv.Len() == 0 {
+			return 0
+		}
+		return int64(rv.Len()) * int64(rv.Type().Elem().Size())
+	case reflect.Struct, reflect.Ptr:
+		t := rv.Type()
+		if t.Kind() == reflect.Ptr {
+			if rv.IsNil() {
+				return 8
+			}
+			t = t.Elem()
+		}
+		return int64(t.Size())
+	default:
+		return 16
+	}
+}

@@ -1,0 +1,271 @@
+package dense
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file provides the small dense linear-algebra kernels (BLAS level 1-3
+// subset plus LU/QR factorizations) used by the solver and preconditioner
+// packages. Everything operates on float64 slices or 2-d Arrays; the
+// distributed layers handle partitioning.
+
+// Axpy computes y += alpha*x for equal-length slices.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("dense: Axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i := range x {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Scal scales x by alpha in place.
+func Scal(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// DotSlices returns the inner product of two equal-length slices.
+func DotSlices(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("dense: Dot length mismatch %d vs %d", len(x), len(y)))
+	}
+	var acc float64
+	for i := range x {
+		acc += x[i] * y[i]
+	}
+	return acc
+}
+
+// Nrm2Slice returns the Euclidean norm of a slice.
+func Nrm2Slice(x []float64) float64 {
+	return math.Sqrt(DotSlices(x, x))
+}
+
+// Gemv computes y = alpha*A*x + beta*y for a 2-d array A (m x n), x of
+// length n and y of length m.
+func Gemv(alpha float64, a *Array[float64], x []float64, beta float64, y []float64) {
+	if a.NDim() != 2 {
+		panic("dense: Gemv requires a 2-d array")
+	}
+	m, n := a.Dim(0), a.Dim(1)
+	if len(x) != n || len(y) != m {
+		panic(fmt.Sprintf("dense: Gemv dims A=%dx%d x=%d y=%d", m, n, len(x), len(y)))
+	}
+	for i := 0; i < m; i++ {
+		var acc float64
+		ro := a.offset + i*a.strides[0]
+		for j := 0; j < n; j++ {
+			acc += a.data[ro+j*a.strides[1]] * x[j]
+		}
+		y[i] = alpha*acc + beta*y[i]
+	}
+}
+
+// Gemm computes C = alpha*A*B + beta*C for 2-d arrays with compatible shapes.
+func Gemm(alpha float64, a, b *Array[float64], beta float64, c *Array[float64]) {
+	if a.NDim() != 2 || b.NDim() != 2 || c.NDim() != 2 {
+		panic("dense: Gemm requires 2-d arrays")
+	}
+	m, k := a.Dim(0), a.Dim(1)
+	k2, n := b.Dim(0), b.Dim(1)
+	if k != k2 || c.Dim(0) != m || c.Dim(1) != n {
+		panic(fmt.Sprintf("dense: Gemm dims A=%dx%d B=%dx%d C=%dx%d", m, k, k2, n, c.Dim(0), c.Dim(1)))
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var acc float64
+			for p := 0; p < k; p++ {
+				acc += a.At(i, p) * b.At(p, j)
+			}
+			c.Set(alpha*acc+beta*c.At(i, j), i, j)
+		}
+	}
+}
+
+// LU holds a dense LU factorization with partial pivoting: P*A = L*U with
+// unit lower-triangular L and upper-triangular U packed in one matrix.
+type LU struct {
+	lu   *Array[float64]
+	piv  []int
+	n    int
+	sign float64
+}
+
+// FactorLU computes the LU factorization of a square matrix. It returns an
+// error if the matrix is singular to working precision.
+func FactorLU(a *Array[float64]) (*LU, error) {
+	if a.NDim() != 2 || a.Dim(0) != a.Dim(1) {
+		panic("dense: FactorLU requires a square 2-d array")
+	}
+	n := a.Dim(0)
+	lu := a.Clone()
+	piv := make([]int, n)
+	sign := 1.0
+	for i := range piv {
+		piv[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Partial pivot.
+		p, pmax := k, math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > pmax {
+				p, pmax = i, v
+			}
+		}
+		if pmax == 0 {
+			return nil, fmt.Errorf("dense: matrix is singular at column %d", k)
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				t := lu.At(k, j)
+				lu.Set(lu.At(p, j), k, j)
+				lu.Set(t, p, j)
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+			sign = -sign
+		}
+		ukk := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			l := lu.At(i, k) / ukk
+			lu.Set(l, i, k)
+			for j := k + 1; j < n; j++ {
+				lu.Set(lu.At(i, j)-l*lu.At(k, j), i, j)
+			}
+		}
+	}
+	return &LU{lu: lu, piv: piv, n: n, sign: sign}, nil
+}
+
+// Solve solves A x = b, overwriting nothing; it returns a new solution slice.
+func (f *LU) Solve(b []float64) []float64 {
+	if len(b) != f.n {
+		panic(fmt.Sprintf("dense: LU.Solve length %d, want %d", len(b), f.n))
+	}
+	x := make([]float64, f.n)
+	for i, p := range f.piv {
+		x[i] = b[p]
+	}
+	// Forward substitution with unit L.
+	for i := 1; i < f.n; i++ {
+		for j := 0; j < i; j++ {
+			x[i] -= f.lu.At(i, j) * x[j]
+		}
+	}
+	// Back substitution with U.
+	for i := f.n - 1; i >= 0; i-- {
+		for j := i + 1; j < f.n; j++ {
+			x[i] -= f.lu.At(i, j) * x[j]
+		}
+		x[i] /= f.lu.At(i, i)
+	}
+	return x
+}
+
+// Det returns the determinant from the factorization.
+func (f *LU) Det() float64 {
+	d := f.sign
+	for i := 0; i < f.n; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// SolveDense is a convenience that factors and solves in one call.
+func SolveDense(a *Array[float64], b []float64) ([]float64, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// QR holds a Householder QR factorization of an m x n matrix with m >= n.
+type QR struct {
+	qr    *Array[float64] // Householder vectors below diagonal, R on/above
+	rdiag []float64
+	m, n  int
+}
+
+// FactorQR computes a Householder QR factorization.
+func FactorQR(a *Array[float64]) (*QR, error) {
+	if a.NDim() != 2 {
+		panic("dense: FactorQR requires a 2-d array")
+	}
+	m, n := a.Dim(0), a.Dim(1)
+	if m < n {
+		return nil, fmt.Errorf("dense: FactorQR needs m >= n, got %dx%d", m, n)
+	}
+	qr := a.Clone()
+	rdiag := make([]float64, n)
+	for k := 0; k < n; k++ {
+		var nrm float64
+		for i := k; i < m; i++ {
+			nrm = math.Hypot(nrm, qr.At(i, k))
+		}
+		if nrm == 0 {
+			return nil, fmt.Errorf("dense: rank-deficient matrix at column %d", k)
+		}
+		if qr.At(k, k) < 0 {
+			nrm = -nrm
+		}
+		for i := k; i < m; i++ {
+			qr.Set(qr.At(i, k)/nrm, i, k)
+		}
+		qr.Set(qr.At(k, k)+1, k, k)
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += qr.At(i, k) * qr.At(i, j)
+			}
+			s = -s / qr.At(k, k)
+			for i := k; i < m; i++ {
+				qr.Set(qr.At(i, j)+s*qr.At(i, k), i, j)
+			}
+		}
+		rdiag[k] = -nrm
+	}
+	return &QR{qr: qr, rdiag: rdiag, m: m, n: n}, nil
+}
+
+// SolveLS solves the least-squares problem min ||A x - b||2 using the
+// factorization; b has length m, and the returned x has length n.
+func (f *QR) SolveLS(b []float64) []float64 {
+	if len(b) != f.m {
+		panic(fmt.Sprintf("dense: QR.SolveLS length %d, want %d", len(b), f.m))
+	}
+	y := make([]float64, f.m)
+	copy(y, b)
+	// Apply Householder reflections: y = Q^T b.
+	for k := 0; k < f.n; k++ {
+		var s float64
+		for i := k; i < f.m; i++ {
+			s += f.qr.At(i, k) * y[i]
+		}
+		s = -s / f.qr.At(k, k)
+		for i := k; i < f.m; i++ {
+			y[i] += s * f.qr.At(i, k)
+		}
+	}
+	// Back-substitute R x = y[:n].
+	x := make([]float64, f.n)
+	for i := f.n - 1; i >= 0; i-- {
+		x[i] = y[i]
+		for j := i + 1; j < f.n; j++ {
+			x[i] -= f.qr.At(i, j) * x[j]
+		}
+		x[i] /= f.rdiag[i]
+	}
+	return x
+}
+
+// Eye returns the n x n identity matrix.
+func Eye(n int) *Array[float64] {
+	a := Zeros[float64](n, n)
+	for i := 0; i < n; i++ {
+		a.Set(1, i, i)
+	}
+	return a
+}

@@ -1,0 +1,286 @@
+package dense
+
+import (
+	"fmt"
+	"math"
+)
+
+// Unary applies f element-wise to src and returns a new contiguous array of
+// the same shape. This is the serial core of ODIN's "trivially parallelized"
+// unary ufuncs (§III.D).
+func Unary[T, U Elem](src *Array[T], f func(T) U) *Array[U] {
+	out := Zeros[U](src.shape...)
+	raw := out.Raw()
+	i := 0
+	src.Each(func(v T) {
+		raw[i] = f(v)
+		i++
+	})
+	return out
+}
+
+// UnaryInto applies f element-wise from src into dst (shapes must match).
+func UnaryInto[T, U Elem](dst *Array[U], src *Array[T], f func(T) U) {
+	if !shapeEq(dst.shape, src.shape) {
+		panic(fmt.Sprintf("dense: UnaryInto shape mismatch %v vs %v", dst.shape, src.shape))
+	}
+	if dst.IsContiguous() && src.IsContiguous() {
+		d, s := dst.Raw(), src.Raw()
+		for i := range s {
+			d[i] = f(s[i])
+		}
+		return
+	}
+	it := newIterator(src.shape)
+	for it.next() {
+		dst.data[dst.offsetOf(it.idx)] = f(src.data[src.offsetOf(it.idx)])
+	}
+}
+
+// Binary applies f element-wise to (a, b) and returns a new array. Shapes
+// must match exactly; distributed broadcasting is handled a level up.
+func Binary[T Elem](a, b *Array[T], f func(T, T) T) *Array[T] {
+	if !shapeEq(a.shape, b.shape) {
+		panic(fmt.Sprintf("dense: Binary shape mismatch %v vs %v", a.shape, b.shape))
+	}
+	out := Zeros[T](a.shape...)
+	BinaryInto(out, a, b, f)
+	return out
+}
+
+// BinaryInto applies f element-wise into dst.
+func BinaryInto[T Elem](dst, a, b *Array[T], f func(T, T) T) {
+	if !shapeEq(a.shape, b.shape) || !shapeEq(dst.shape, a.shape) {
+		panic(fmt.Sprintf("dense: BinaryInto shape mismatch %v, %v, %v", dst.shape, a.shape, b.shape))
+	}
+	if dst.IsContiguous() && a.IsContiguous() && b.IsContiguous() {
+		d, x, y := dst.Raw(), a.Raw(), b.Raw()
+		for i := range x {
+			d[i] = f(x[i], y[i])
+		}
+		return
+	}
+	it := newIterator(a.shape)
+	for it.next() {
+		dst.data[dst.offsetOf(it.idx)] = f(a.data[a.offsetOf(it.idx)], b.data[b.offsetOf(it.idx)])
+	}
+}
+
+// Scalar applies f(v, s) element-wise with a fixed scalar operand.
+func Scalar[T Elem](a *Array[T], s T, f func(T, T) T) *Array[T] {
+	return Unary(a, func(v T) T { return f(v, s) })
+}
+
+// Sum returns the sum of all elements.
+func Sum[T Elem](a *Array[T]) T {
+	var acc T
+	a.Each(func(v T) { acc += v })
+	return acc
+}
+
+// Prod returns the product of all elements (1 for an empty array).
+func Prod[T Elem](a *Array[T]) T {
+	acc := fromInt[T](1)
+	a.Each(func(v T) { acc *= v })
+	return acc
+}
+
+// Min returns the minimum element; it panics on an empty array.
+func Min[T Real](a *Array[T]) T {
+	if a.Size() == 0 {
+		panic("dense: Min of empty array")
+	}
+	first := true
+	var best T
+	a.Each(func(v T) {
+		if first || v < best {
+			best = v
+			first = false
+		}
+	})
+	return best
+}
+
+// Max returns the maximum element; it panics on an empty array.
+func Max[T Real](a *Array[T]) T {
+	if a.Size() == 0 {
+		panic("dense: Max of empty array")
+	}
+	first := true
+	var best T
+	a.Each(func(v T) {
+		if first || v > best {
+			best = v
+			first = false
+		}
+	})
+	return best
+}
+
+// ArgMin returns the row-major flat position of the minimum element.
+func ArgMin[T Real](a *Array[T]) int {
+	if a.Size() == 0 {
+		panic("dense: ArgMin of empty array")
+	}
+	best, bi, i := a.Flatten()[0], 0, 0
+	a.Each(func(v T) {
+		if v < best {
+			best, bi = v, i
+		}
+		i++
+	})
+	return bi
+}
+
+// ArgMax returns the row-major flat position of the maximum element.
+func ArgMax[T Real](a *Array[T]) int {
+	if a.Size() == 0 {
+		panic("dense: ArgMax of empty array")
+	}
+	best, bi, i := a.Flatten()[0], 0, 0
+	a.Each(func(v T) {
+		if v > best {
+			best, bi = v, i
+		}
+		i++
+	})
+	return bi
+}
+
+// Mean returns the arithmetic mean of a floating-point array.
+func Mean[T Float](a *Array[T]) T {
+	if a.Size() == 0 {
+		panic("dense: Mean of empty array")
+	}
+	return Sum(a) / T(a.Size())
+}
+
+// CumSum returns the running inclusive prefix sum in row-major order as a
+// 1-d array.
+func CumSum[T Elem](a *Array[T]) *Array[T] {
+	out := make([]T, a.Size())
+	var acc T
+	i := 0
+	a.Each(func(v T) {
+		acc += v
+		out[i] = acc
+		i++
+	})
+	return FromSlice(out, len(out))
+}
+
+// ReduceAxis folds the elements along one axis with f, producing an array
+// whose shape drops that axis (NumPy's reduce with axis=). The init value
+// seeds each output element.
+func ReduceAxis[T Elem](a *Array[T], axis int, init T, f func(acc, v T) T) *Array[T] {
+	if axis < 0 || axis >= a.NDim() {
+		panic(fmt.Sprintf("dense: ReduceAxis axis %d out of range for shape %v", axis, a.shape))
+	}
+	outShape := make([]int, 0, a.NDim()-1)
+	for d, s := range a.shape {
+		if d != axis {
+			outShape = append(outShape, s)
+		}
+	}
+	out := Full(init, outShape...)
+	oidx := make([]int, len(outShape))
+	a.EachIndexed(func(idx []int, v T) {
+		k := 0
+		for d, i := range idx {
+			if d != axis {
+				oidx[k] = i
+				k++
+			}
+		}
+		out.Set(f(out.At(oidx...), v), oidx...)
+	})
+	return out
+}
+
+// SumAxis sums along one axis.
+func SumAxis[T Elem](a *Array[T], axis int) *Array[T] {
+	var zero T
+	return ReduceAxis(a, axis, zero, func(acc, v T) T { return acc + v })
+}
+
+// Dot returns the inner product of two 1-d arrays of equal length.
+func Dot[T Elem](a, b *Array[T]) T {
+	if a.NDim() != 1 || b.NDim() != 1 || a.Dim(0) != b.Dim(0) {
+		panic(fmt.Sprintf("dense: Dot needs equal-length vectors, got %v and %v", a.shape, b.shape))
+	}
+	var acc T
+	n := a.Dim(0)
+	for i := 0; i < n; i++ {
+		acc += a.data[a.offset+i*a.strides[0]] * b.data[b.offset+i*b.strides[0]]
+	}
+	return acc
+}
+
+// Norm2 returns the Euclidean norm of a float vector or matrix (Frobenius).
+func Norm2[T Float](a *Array[T]) float64 {
+	var acc float64
+	a.Each(func(v T) { acc += float64(v) * float64(v) })
+	return math.Sqrt(acc)
+}
+
+// Norm1 returns the sum of absolute values.
+func Norm1[T Float](a *Array[T]) float64 {
+	var acc float64
+	a.Each(func(v T) { acc += math.Abs(float64(v)) })
+	return acc
+}
+
+// NormInf returns the maximum absolute value (0 for empty arrays).
+func NormInf[T Float](a *Array[T]) float64 {
+	var acc float64
+	a.Each(func(v T) {
+		av := math.Abs(float64(v))
+		if av > acc {
+			acc = av
+		}
+	})
+	return acc
+}
+
+// Where returns the row-major flat positions at which pred holds.
+func Where[T Elem](a *Array[T], pred func(T) bool) []int {
+	var out []int
+	i := 0
+	a.Each(func(v T) {
+		if pred(v) {
+			out = append(out, i)
+		}
+		i++
+	})
+	return out
+}
+
+// Count returns the number of elements for which pred holds.
+func Count[T Elem](a *Array[T], pred func(T) bool) int {
+	n := 0
+	a.Each(func(v T) {
+		if pred(v) {
+			n++
+		}
+	})
+	return n
+}
+
+// AllClose reports whether two float arrays agree element-wise within
+// absolute tolerance atol plus relative tolerance rtol (NumPy semantics).
+func AllClose[T Float](a, b *Array[T], rtol, atol float64) bool {
+	if !shapeEq(a.shape, b.shape) {
+		return false
+	}
+	av, bv := a.Flatten(), b.Flatten()
+	for i := range av {
+		x, y := float64(av[i]), float64(bv[i])
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return false
+		}
+		if math.Abs(x-y) > atol+rtol*math.Abs(y) {
+			return false
+		}
+	}
+	return true
+}

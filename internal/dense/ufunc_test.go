@@ -1,0 +1,409 @@
+package dense
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnary(t *testing.T) {
+	a := FromSlice([]float64{1, 4, 9}, 3)
+	got := Unary(a, math.Sqrt)
+	if !reflect.DeepEqual(got.Flatten(), []float64{1, 2, 3}) {
+		t.Fatalf("sqrt = %v", got.Flatten())
+	}
+	// Type-changing unary.
+	ints := Unary(a, func(v float64) int64 { return int64(v) })
+	if !reflect.DeepEqual(ints.Flatten(), []int64{1, 4, 9}) {
+		t.Fatalf("cast = %v", ints.Flatten())
+	}
+}
+
+func TestUnaryIntoStrided(t *testing.T) {
+	a := Arange[float64](10)
+	src := a.Slice(0, Range{0, 10, 2}) // 0 2 4 6 8
+	dst := Zeros[float64](5)
+	UnaryInto(dst, src, func(v float64) float64 { return v * 10 })
+	if !reflect.DeepEqual(dst.Flatten(), []float64{0, 20, 40, 60, 80}) {
+		t.Fatalf("got %v", dst.Flatten())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("shape mismatch should panic")
+			}
+		}()
+		UnaryInto(Zeros[float64](4), src, func(v float64) float64 { return v })
+	}()
+}
+
+func TestBinary(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3}, 3)
+	b := FromSlice([]float64{10, 20, 30}, 3)
+	got := Binary(a, b, func(x, y float64) float64 { return x + y })
+	if !reflect.DeepEqual(got.Flatten(), []float64{11, 22, 33}) {
+		t.Fatalf("add = %v", got.Flatten())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("shape mismatch should panic")
+			}
+		}()
+		Binary(a, Zeros[float64](4), func(x, y float64) float64 { return x })
+	}()
+}
+
+func TestBinaryIntoStridedViews(t *testing.T) {
+	// The paper's dy = y[1:] - y[:-1] on the local level.
+	y := FromSlice([]float64{0, 1, 4, 9, 16}, 5)
+	hi := y.Slice(0, Range{1, 5, 1})
+	lo := y.Slice(0, Range{0, -1, 1})
+	dy := Binary(hi, lo, func(a, b float64) float64 { return a - b })
+	if !reflect.DeepEqual(dy.Flatten(), []float64{1, 3, 5, 7}) {
+		t.Fatalf("dy = %v", dy.Flatten())
+	}
+}
+
+func TestScalarOp(t *testing.T) {
+	a := Arange[float64](4)
+	got := Scalar(a, 10, func(v, s float64) float64 { return v * s })
+	if !reflect.DeepEqual(got.Flatten(), []float64{0, 10, 20, 30}) {
+		t.Fatalf("scal = %v", got.Flatten())
+	}
+}
+
+func TestReductions(t *testing.T) {
+	a := FromSlice([]float64{3, -1, 4, 1, 5}, 5)
+	if Sum(a) != 12 {
+		t.Fatalf("Sum = %v", Sum(a))
+	}
+	if Prod(FromSlice([]float64{2, 3, 4}, 3)) != 24 {
+		t.Fatal("Prod")
+	}
+	if Prod(Zeros[float64](0)) != 1 {
+		t.Fatal("empty Prod identity")
+	}
+	if Min(a) != -1 || Max(a) != 5 {
+		t.Fatalf("Min/Max = %v/%v", Min(a), Max(a))
+	}
+	if ArgMin(a) != 1 || ArgMax(a) != 4 {
+		t.Fatalf("Arg = %d/%d", ArgMin(a), ArgMax(a))
+	}
+	if Mean(a) != 2.4 {
+		t.Fatalf("Mean = %v", Mean(a))
+	}
+}
+
+func TestReductionsEmptyPanics(t *testing.T) {
+	empty := Zeros[float64](0)
+	for name, fn := range map[string]func(){
+		"min":    func() { Min(empty) },
+		"max":    func() { Max(empty) },
+		"argmin": func() { ArgMin(empty) },
+		"argmax": func() { ArgMax(empty) },
+		"mean":   func() { Mean(empty) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestReduceAxis(t *testing.T) {
+	a := FromSlice([]float64{
+		1, 2, 3,
+		4, 5, 6,
+	}, 2, 3)
+	rows := SumAxis(a, 1)
+	if !reflect.DeepEqual(rows.Flatten(), []float64{6, 15}) {
+		t.Fatalf("axis 1: %v", rows.Flatten())
+	}
+	cols := SumAxis(a, 0)
+	if !reflect.DeepEqual(cols.Flatten(), []float64{5, 7, 9}) {
+		t.Fatalf("axis 0: %v", cols.Flatten())
+	}
+	// Max along an axis via the general fold.
+	mx := ReduceAxis(a, 0, math.Inf(-1), math.Max)
+	if !reflect.DeepEqual(mx.Flatten(), []float64{4, 5, 6}) {
+		t.Fatalf("max axis 0: %v", mx.Flatten())
+	}
+	// Reducing a 1-d array yields a 0-d scalar holder.
+	v := FromSlice([]float64{2, 3, 4}, 3)
+	s := SumAxis(v, 0)
+	if s.NDim() != 0 || s.At() != 9 {
+		t.Fatalf("0-d sum: ndim=%d val=%v", s.NDim(), s.At())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("bad axis should panic")
+			}
+		}()
+		SumAxis(a, 2)
+	}()
+}
+
+func TestCumSum(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 4)
+	if !reflect.DeepEqual(CumSum(a).Flatten(), []float64{1, 3, 6, 10}) {
+		t.Fatal("CumSum")
+	}
+}
+
+func TestDot(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3}, 3)
+	b := FromSlice([]float64{4, 5, 6}, 3)
+	if Dot(a, b) != 32 {
+		t.Fatalf("Dot = %v", Dot(a, b))
+	}
+	// Dot through strided views.
+	x := Arange[float64](6)
+	ev := x.Slice(0, Range{0, 6, 2}) // 0 2 4
+	od := x.Slice(0, Range{1, 6, 2}) // 1 3 5
+	if Dot(ev, od) != 0*1+2*3+4*5 {
+		t.Fatal("strided Dot")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("length mismatch should panic")
+			}
+		}()
+		Dot(a, Zeros[float64](4))
+	}()
+}
+
+func TestNorms(t *testing.T) {
+	a := FromSlice([]float64{3, -4}, 2)
+	if Norm2(a) != 5 {
+		t.Fatalf("Norm2 = %v", Norm2(a))
+	}
+	if Norm1(a) != 7 {
+		t.Fatalf("Norm1 = %v", Norm1(a))
+	}
+	if NormInf(a) != 4 {
+		t.Fatalf("NormInf = %v", NormInf(a))
+	}
+	if NormInf(Zeros[float64](0)) != 0 {
+		t.Fatal("empty NormInf")
+	}
+}
+
+func TestWhereCount(t *testing.T) {
+	a := FromSlice([]float64{1, -2, 3, -4}, 4)
+	neg := Where(a, func(v float64) bool { return v < 0 })
+	if !reflect.DeepEqual(neg, []int{1, 3}) {
+		t.Fatalf("Where = %v", neg)
+	}
+	if Count(a, func(v float64) bool { return v > 0 }) != 2 {
+		t.Fatal("Count")
+	}
+}
+
+func TestAllClose(t *testing.T) {
+	a := FromSlice([]float64{1, 2}, 2)
+	b := FromSlice([]float64{1 + 1e-12, 2}, 2)
+	if !AllClose(a, b, 1e-9, 1e-9) {
+		t.Fatal("close arrays")
+	}
+	c := FromSlice([]float64{1.1, 2}, 2)
+	if AllClose(a, c, 1e-9, 1e-9) {
+		t.Fatal("distant arrays")
+	}
+	if AllClose(a, Zeros[float64](3), 1, 1) {
+		t.Fatal("shape mismatch")
+	}
+	n := FromSlice([]float64{math.NaN(), 2}, 2)
+	if AllClose(n, n, 1, 1) {
+		t.Fatal("NaN never close")
+	}
+}
+
+func TestAxpyScalDot(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{10, 20, 30}
+	Axpy(2, x, y)
+	if !reflect.DeepEqual(y, []float64{12, 24, 36}) {
+		t.Fatalf("Axpy = %v", y)
+	}
+	Scal(0.5, y)
+	if !reflect.DeepEqual(y, []float64{6, 12, 18}) {
+		t.Fatalf("Scal = %v", y)
+	}
+	if DotSlices(x, x) != 14 {
+		t.Fatal("DotSlices")
+	}
+	if Nrm2Slice([]float64{3, 4}) != 5 {
+		t.Fatal("Nrm2Slice")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Axpy length mismatch should panic")
+			}
+		}()
+		Axpy(1, x, []float64{1})
+	}()
+}
+
+func TestGemv(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	x := []float64{1, 1, 1}
+	y := []float64{100, 100}
+	Gemv(1, a, x, 0, y)
+	if !reflect.DeepEqual(y, []float64{6, 15}) {
+		t.Fatalf("Gemv = %v", y)
+	}
+	Gemv(2, a, x, 1, y) // y = 2*A*x + y
+	if !reflect.DeepEqual(y, []float64{18, 45}) {
+		t.Fatalf("Gemv acc = %v", y)
+	}
+}
+
+func TestGemm(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float64{5, 6, 7, 8}, 2, 2)
+	c := Zeros[float64](2, 2)
+	Gemm(1, a, b, 0, c)
+	want := []float64{19, 22, 43, 50}
+	if !reflect.DeepEqual(c.Flatten(), want) {
+		t.Fatalf("Gemm = %v", c.Flatten())
+	}
+}
+
+func TestLUSolve(t *testing.T) {
+	a := FromSlice([]float64{4, 3, 6, 3}, 2, 2)
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.Solve([]float64{10, 12})
+	// 4x+3y=10, 6x+3y=12 -> x=1, y=2
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-2) > 1e-12 {
+		t.Fatalf("LU solve = %v", x)
+	}
+	if math.Abs(f.Det()-(-6)) > 1e-12 {
+		t.Fatalf("Det = %v", f.Det())
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 2, 4}, 2, 2)
+	if _, err := FactorLU(a); err == nil {
+		t.Fatal("singular matrix must fail")
+	}
+}
+
+func TestLUSolveRandomProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		a := Zeros[float64](n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(rng.NormFloat64(), i, j)
+			}
+			a.Set(a.At(i, i)+float64(n), i, i) // diagonally dominant
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := make([]float64, n)
+		Gemv(1, a, want, 0, b)
+		got, err := SolveDense(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQRLeastSquares(t *testing.T) {
+	// Fit y = 2x + 1 exactly from 3 points.
+	a := FromSlice([]float64{
+		0, 1,
+		1, 1,
+		2, 1,
+	}, 3, 2)
+	b := []float64{1, 3, 5}
+	f, err := FactorQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.SolveLS(b)
+	if math.Abs(x[0]-2) > 1e-12 || math.Abs(x[1]-1) > 1e-12 {
+		t.Fatalf("LS = %v", x)
+	}
+}
+
+func TestQROverdetermined(t *testing.T) {
+	// Least squares of inconsistent system minimizes residual: points
+	// (0,0),(1,1),(2,1) fit y=0.5x+1/6.
+	a := FromSlice([]float64{0, 1, 1, 1, 2, 1}, 3, 2)
+	f, err := FactorQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.SolveLS([]float64{0, 1, 1})
+	if math.Abs(x[0]-0.5) > 1e-12 || math.Abs(x[1]-1.0/6) > 1e-12 {
+		t.Fatalf("LS = %v", x)
+	}
+}
+
+func TestQRValidation(t *testing.T) {
+	if _, err := FactorQR(FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)); err == nil {
+		t.Fatal("m<n must fail")
+	}
+	if _, err := FactorQR(Zeros[float64](3, 2)); err == nil {
+		t.Fatal("rank-deficient must fail")
+	}
+}
+
+func TestEye(t *testing.T) {
+	e := Eye(3)
+	if e.At(0, 0) != 1 || e.At(1, 1) != 1 || e.At(0, 1) != 0 {
+		t.Fatal("Eye")
+	}
+	// I*x = x
+	x := []float64{5, 6, 7}
+	y := make([]float64, 3)
+	Gemv(1, e, x, 0, y)
+	if !reflect.DeepEqual(y, x) {
+		t.Fatal("Eye Gemv")
+	}
+}
+
+func TestGemvGemmValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"gemv-1d":   func() { Gemv(1, Zeros[float64](3), []float64{1}, 0, []float64{1}) },
+		"gemv-dims": func() { Gemv(1, Zeros[float64](2, 3), []float64{1}, 0, []float64{1, 2}) },
+		"gemm-dims": func() { Gemm(1, Zeros[float64](2, 3), Zeros[float64](2, 3), 0, Zeros[float64](2, 3)) },
+		"lu-square": func() { _, _ = FactorLU(Zeros[float64](2, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,323 @@
+// Package fusion implements ODIN's distributed array expression analysis
+// and loop fusion (§III: "ODIN can optimize distributed array expressions.
+// These optimizations include: loop fusion, array expression analysis to
+// select the appropriate communication strategy between worker nodes").
+//
+// An Expr is a lazy expression graph over distributed arrays. Eval analyzes
+// the graph once — aligning non-conformable leaves with a single
+// redistribution each — and then executes the whole expression in one fused
+// sweep over the local data, allocating exactly one output array.
+// EvalNaive executes the same graph one operation at a time with a
+// temporary per node, which is what experiment E5 compares against.
+package fusion
+
+import (
+	"fmt"
+	"math"
+
+	"odinhpc/internal/comm"
+	"odinhpc/internal/core"
+	"odinhpc/internal/dense"
+	"odinhpc/internal/ufunc"
+)
+
+// Expr is a node in a lazy expression graph over float64 DistArrays.
+type Expr struct {
+	kind  exprKind
+	leaf  *core.DistArray[float64]
+	value float64 // for constants
+	un    func(float64) float64
+	bin   func(float64, float64) float64
+	name  string
+	args  []*Expr
+}
+
+type exprKind int
+
+const (
+	kindLeaf exprKind = iota
+	kindConst
+	kindUnary
+	kindBinary
+)
+
+// Var wraps a distributed array as an expression leaf.
+func Var(x *core.DistArray[float64]) *Expr {
+	if x == nil {
+		panic("fusion: Var(nil)")
+	}
+	return &Expr{kind: kindLeaf, leaf: x}
+}
+
+// Const wraps a scalar constant.
+func Const(v float64) *Expr { return &Expr{kind: kindConst, value: v} }
+
+// Unary builds a custom unary node.
+func Unary(name string, f func(float64) float64, a *Expr) *Expr {
+	return &Expr{kind: kindUnary, un: f, name: name, args: []*Expr{a}}
+}
+
+// Binary builds a custom binary node.
+func Binary(name string, f func(float64, float64) float64, a, b *Expr) *Expr {
+	return &Expr{kind: kindBinary, bin: f, name: name, args: []*Expr{a, b}}
+}
+
+// Add returns e + o.
+func (e *Expr) Add(o *Expr) *Expr {
+	return Binary("add", func(a, b float64) float64 { return a + b }, e, o)
+}
+
+// Sub returns e - o.
+func (e *Expr) Sub(o *Expr) *Expr {
+	return Binary("sub", func(a, b float64) float64 { return a - b }, e, o)
+}
+
+// Mul returns e * o.
+func (e *Expr) Mul(o *Expr) *Expr {
+	return Binary("mul", func(a, b float64) float64 { return a * b }, e, o)
+}
+
+// Div returns e / o.
+func (e *Expr) Div(o *Expr) *Expr {
+	return Binary("div", func(a, b float64) float64 { return a / b }, e, o)
+}
+
+// Square returns e*e as a single unary node (no duplicated subtree walk).
+func (e *Expr) Square() *Expr { return Unary("square", func(v float64) float64 { return v * v }, e) }
+
+// Sqrt returns sqrt(e).
+func Sqrt(e *Expr) *Expr { return Unary("sqrt", math.Sqrt, e) }
+
+// Sin returns sin(e).
+func Sin(e *Expr) *Expr { return Unary("sin", math.Sin, e) }
+
+// Cos returns cos(e).
+func Cos(e *Expr) *Expr { return Unary("cos", math.Cos, e) }
+
+// Exp returns exp(e).
+func Exp(e *Expr) *Expr { return Unary("exp", math.Exp, e) }
+
+// Abs returns |e|.
+func Abs(e *Expr) *Expr { return Unary("abs", math.Abs, e) }
+
+// Neg returns -e.
+func Neg(e *Expr) *Expr { return Unary("neg", func(v float64) float64 { return -v }, e) }
+
+// Hypot returns sqrt(a^2 + b^2) — the paper's hypot example as one fused
+// expression.
+func Hypot(a, b *Expr) *Expr { return Binary("hypot", math.Hypot, a, b) }
+
+// Leaves returns the distinct leaf arrays of the expression, in first-visit
+// order.
+func (e *Expr) Leaves() []*core.DistArray[float64] {
+	var out []*core.DistArray[float64]
+	seen := map[*core.DistArray[float64]]bool{}
+	var walk func(*Expr)
+	walk = func(x *Expr) {
+		if x.kind == kindLeaf {
+			if !seen[x.leaf] {
+				seen[x.leaf] = true
+				out = append(out, x.leaf)
+			}
+			return
+		}
+		for _, a := range x.args {
+			walk(a)
+		}
+	}
+	walk(e)
+	return out
+}
+
+// CountOps returns the number of operation nodes (each of which the naive
+// evaluator materializes as a full temporary array).
+func (e *Expr) CountOps() int {
+	n := 0
+	var walk func(*Expr)
+	walk = func(x *Expr) {
+		if x.kind == kindUnary || x.kind == kindBinary {
+			n++
+		}
+		for _, a := range x.args {
+			walk(a)
+		}
+	}
+	walk(e)
+	return n
+}
+
+func (e *Expr) String() string {
+	switch e.kind {
+	case kindLeaf:
+		return "x"
+	case kindConst:
+		return fmt.Sprintf("%g", e.value)
+	case kindUnary:
+		return fmt.Sprintf("%s(%s)", e.name, e.args[0])
+	default:
+		return fmt.Sprintf("%s(%s, %s)", e.name, e.args[0], e.args[1])
+	}
+}
+
+// Plan is the result of analyzing an expression: the aligned leaves, the
+// target distribution (that of the first leaf), and the compiled kernel.
+type Plan struct {
+	model         *core.DistArray[float64]
+	leafData      [][]float64
+	kernel        func(i int) float64
+	Redistributed int // leaves that needed realignment
+	Ops           int // fused operation nodes
+}
+
+// Analyze validates the expression, aligns every leaf with the first leaf's
+// distribution (redistributing where needed — the communication-strategy
+// part of expression analysis), and compiles the fused kernel. Collective
+// when redistribution occurs.
+func Analyze(e *Expr) *Plan {
+	leaves := e.Leaves()
+	if len(leaves) == 0 {
+		panic("fusion: expression has no array leaves")
+	}
+	model := leaves[0]
+	p := &Plan{model: model, Ops: e.CountOps()}
+	aligned := map[*core.DistArray[float64]]*core.DistArray[float64]{}
+	for _, l := range leaves {
+		if !sameShape(l.Shape(), model.Shape()) {
+			panic(fmt.Sprintf("fusion: leaf shapes differ: %v vs %v", l.Shape(), model.Shape()))
+		}
+		if l.ConformableWith(model) {
+			aligned[l] = l
+			continue
+		}
+		if l.Axis() != model.Axis() {
+			panic("fusion: leaves distributed over different axes")
+		}
+		aligned[l] = core.Redistribute(l, model.Map())
+		p.Redistributed++
+	}
+	// Flatten each aligned leaf once; the kernel indexes these slices.
+	dataOf := map[*core.DistArray[float64]]int{}
+	for _, l := range leaves {
+		dataOf[l] = len(p.leafData)
+		a := aligned[l].Local()
+		if a.IsContiguous() {
+			p.leafData = append(p.leafData, a.Raw())
+		} else {
+			p.leafData = append(p.leafData, a.Flatten())
+		}
+	}
+	p.kernel = compile(e, p, dataOf)
+	return p
+}
+
+// compile lowers the expression tree into a closure tree evaluated per
+// element — the fused loop body.
+func compile(e *Expr, p *Plan, dataOf map[*core.DistArray[float64]]int) func(int) float64 {
+	switch e.kind {
+	case kindLeaf:
+		data := p.leafData[dataOf[e.leaf]]
+		return func(i int) float64 { return data[i] }
+	case kindConst:
+		v := e.value
+		return func(int) float64 { return v }
+	case kindUnary:
+		f := e.un
+		arg := compile(e.args[0], p, dataOf)
+		return func(i int) float64 { return f(arg(i)) }
+	default:
+		f := e.bin
+		a := compile(e.args[0], p, dataOf)
+		b := compile(e.args[1], p, dataOf)
+		return func(i int) float64 { return f(a(i), b(i)) }
+	}
+}
+
+// Execute runs the fused kernel, producing the result array in one sweep.
+func (p *Plan) Execute() *core.DistArray[float64] {
+	n := p.model.Local().Size()
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = p.kernel(i)
+	}
+	return p.model.WithLocal(dense.FromSlice(out, p.model.Local().Shape()...))
+}
+
+// Eval analyzes and executes the expression with loop fusion: one control
+// message, at most one redistribution per non-conformable leaf, one output
+// allocation, zero intermediate temporaries. Collective.
+func Eval(e *Expr) *core.DistArray[float64] {
+	leaves := e.Leaves()
+	if len(leaves) == 0 {
+		panic("fusion: expression has no array leaves")
+	}
+	ctx := leaves[0].Context()
+	ctx.Control(core.OpUfunc, int64(e.CountOps()))
+	saved := ctx.ControlMessagesEnabled()
+	ctx.SetControlMessages(false)
+	defer ctx.SetControlMessages(saved)
+	return Analyze(e).Execute()
+}
+
+// SumEval evaluates the expression and reduces it to its global sum in the
+// same fused sweep: no output array is materialized at all (reduction
+// fusion, the natural extension of the paper's loop fusion). Collective.
+func SumEval(e *Expr) float64 {
+	leaves := e.Leaves()
+	if len(leaves) == 0 {
+		panic("fusion: expression has no array leaves")
+	}
+	ctx := leaves[0].Context()
+	ctx.Control(core.OpReduce, int64(e.CountOps()))
+	saved := ctx.ControlMessagesEnabled()
+	ctx.SetControlMessages(false)
+	defer ctx.SetControlMessages(saved)
+	p := Analyze(e)
+	n := p.model.Local().Size()
+	var local float64
+	for i := 0; i < n; i++ {
+		local += p.kernel(i)
+	}
+	return comm.AllreduceScalar(ctx.Comm(), local, comm.OpSum)
+}
+
+// EvalNaive executes the expression one node at a time, materializing a
+// full distributed temporary per operation — NumPy-style eager evaluation,
+// the E5 baseline.
+func EvalNaive(e *Expr) *core.DistArray[float64] {
+	switch e.kind {
+	case kindLeaf:
+		return e.leaf.Clone()
+	case kindConst:
+		panic("fusion: naive evaluation of a bare constant needs an array context")
+	case kindUnary:
+		arg := EvalNaive(e.args[0])
+		return ufunc.Unary(arg, e.un)
+	default:
+		// Constants fold into Scalar ops to keep shapes consistent.
+		if e.args[1].kind == kindConst {
+			arg := EvalNaive(e.args[0])
+			return ufunc.Scalar(arg, e.args[1].value, e.bin)
+		}
+		if e.args[0].kind == kindConst {
+			arg := EvalNaive(e.args[1])
+			v := e.args[0].value
+			f := e.bin
+			return ufunc.Unary(arg, func(b float64) float64 { return f(v, b) })
+		}
+		a := EvalNaive(e.args[0])
+		b := EvalNaive(e.args[1])
+		return ufunc.Binary(a, b, e.bin)
+	}
+}
+
+func sameShape(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

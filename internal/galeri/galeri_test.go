@@ -1,0 +1,194 @@
+package galeri
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"odinhpc/internal/comm"
+	"odinhpc/internal/distmap"
+	"odinhpc/internal/sparse"
+	"odinhpc/internal/tpetra"
+)
+
+func TestLaplace1DStructure(t *testing.T) {
+	a := Laplace1D(5)
+	if a.NNZ() != 13 {
+		t.Fatalf("nnz=%d", a.NNZ())
+	}
+	if a.At(0, 0) != 2 || a.At(2, 1) != -1 || a.At(2, 3) != -1 || a.At(0, 2) != 0 {
+		t.Fatal("stencil content wrong")
+	}
+	// Symmetry.
+	if !a.Transpose().Equal(a) {
+		t.Fatal("not symmetric")
+	}
+}
+
+func TestLaplace2DStructure(t *testing.T) {
+	nx, ny := 4, 3
+	a := Laplace2D(nx, ny)
+	if a.Rows != 12 {
+		t.Fatalf("rows=%d", a.Rows)
+	}
+	// Interior point (1,1) -> i=5: full 5-point stencil.
+	if a.At(5, 5) != 4 || a.At(5, 4) != -1 || a.At(5, 6) != -1 || a.At(5, 1) != -1 || a.At(5, 9) != -1 {
+		t.Fatal("interior stencil wrong")
+	}
+	// Corner point 0 has only 3 entries.
+	if a.RowNNZ(0) != 3 {
+		t.Fatalf("corner row nnz=%d", a.RowNNZ(0))
+	}
+	if !a.Transpose().Equal(a) {
+		t.Fatal("not symmetric")
+	}
+	// Row sums are zero in the interior, positive on the boundary
+	// (diagonal dominance).
+	d := a.Dense()
+	for i := 0; i < 12; i++ {
+		var s float64
+		for j := 0; j < 12; j++ {
+			s += d[i*12+j]
+		}
+		if s < 0 {
+			t.Fatalf("row %d sum %g < 0", i, s)
+		}
+	}
+}
+
+func TestLaplace3DStructure(t *testing.T) {
+	a := Laplace3D(3, 3, 3)
+	if a.Rows != 27 {
+		t.Fatalf("rows=%d", a.Rows)
+	}
+	// Center point i=13 has the full 7-point stencil.
+	if a.At(13, 13) != 6 || a.RowNNZ(13) != 7 {
+		t.Fatal("center stencil wrong")
+	}
+	if !a.Transpose().Equal(a) {
+		t.Fatal("not symmetric")
+	}
+}
+
+func TestConvDiffNonSymmetric(t *testing.T) {
+	a := ConvDiff2D(5, 5, 10, -3)
+	if a.Transpose().Equal(a) {
+		t.Fatal("convection-diffusion must be non-symmetric")
+	}
+	// Diagonal dominance is preserved by upwinding.
+	for i := 0; i < a.Rows; i++ {
+		cols, vals := a.Row(i)
+		var off float64
+		var diag float64
+		for k, j := range cols {
+			if j == i {
+				diag = vals[k]
+			} else {
+				off += math.Abs(vals[k])
+			}
+		}
+		if diag < off-1e-12 {
+			t.Fatalf("row %d not diagonally dominant: %g vs %g", i, diag, off)
+		}
+	}
+}
+
+func TestTridiag(t *testing.T) {
+	a := Tridiag(4, 1, 5, 2)
+	if a.At(1, 0) != 1 || a.At(1, 1) != 5 || a.At(1, 2) != 2 {
+		t.Fatal("tridiag content")
+	}
+}
+
+func TestRandomSPDProperties(t *testing.T) {
+	a := RandomSPD(30, 4, 11)
+	if !a.Transpose().Equal(a) {
+		t.Fatal("RandomSPD not symmetric")
+	}
+	// Strict diagonal dominance.
+	for i := 0; i < a.Rows; i++ {
+		cols, vals := a.Row(i)
+		var off, diag float64
+		for k, j := range cols {
+			if j == i {
+				diag = vals[k]
+			} else {
+				off += math.Abs(vals[k])
+			}
+		}
+		if diag <= off {
+			t.Fatalf("row %d: diag %g <= off %g", i, diag, off)
+		}
+	}
+	// Reproducible.
+	b := RandomSPD(30, 4, 11)
+	if !a.Equal(b) {
+		t.Fatal("not reproducible")
+	}
+	cdiff := RandomSPD(30, 4, 12)
+	if a.Equal(cdiff) {
+		t.Fatal("different seeds identical")
+	}
+}
+
+// TestDistMatchesSerial verifies each distributed generator against its
+// serial counterpart for several maps and rank counts.
+func TestDistMatchesSerial(t *testing.T) {
+	type gen struct {
+		serial *sparse.CSR
+		dist   func(c *comm.Comm, m *distmap.Map) *tpetra.CrsMatrix
+	}
+	gens := map[string]gen{
+		"laplace1d": {Laplace1D(24), func(c *comm.Comm, m *distmap.Map) *tpetra.CrsMatrix { return Laplace1DDist(c, m) }},
+		"laplace2d": {Laplace2D(6, 4), func(c *comm.Comm, m *distmap.Map) *tpetra.CrsMatrix { return Laplace2DDist(c, m, 6, 4) }},
+		"laplace3d": {Laplace3D(2, 3, 4), func(c *comm.Comm, m *distmap.Map) *tpetra.CrsMatrix { return Laplace3DDist(c, m, 2, 3, 4) }},
+		"convdiff":  {ConvDiff2D(6, 4, 5, 2), func(c *comm.Comm, m *distmap.Map) *tpetra.CrsMatrix { return ConvDiff2DDist(c, m, 6, 4, 5, 2) }},
+		"randspd":   {RandomSPD(24, 3, 5), func(c *comm.Comm, m *distmap.Map) *tpetra.CrsMatrix { return RandomSPDDist(c, m, 3, 5) }},
+	}
+	for name, g := range gens {
+		n := g.serial.Rows
+		for _, p := range []int{1, 2, 3, 4} {
+			err := comm.Run(p, func(c *comm.Comm) error {
+				m := distmap.NewBlock(n, c.Size())
+				a := g.dist(c, m)
+				got := a.GatherCSR()
+				if !got.Equal(g.serial) {
+					return fmt.Errorf("%s p=%d: distributed != serial", name, p)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestDistMapSizeValidation(t *testing.T) {
+	err := comm.Run(1, func(c *comm.Comm) error {
+		m := distmap.NewBlock(10, 1)
+		defer func() { recover() }()
+		Laplace2DDist(c, m, 3, 3)
+		return fmt.Errorf("expected panic")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoisson2DRHS(t *testing.T) {
+	err := comm.Run(2, func(c *comm.Comm) error {
+		nx, ny := 4, 4
+		m := distmap.NewBlock(nx*ny, c.Size())
+		b := tpetra.NewVector(c, m)
+		Poisson2DRHS(b, nx, ny)
+		h := 1.0 / 5.0
+		if got := b.GetGlobal(7); math.Abs(got-h*h) > 1e-15 {
+			return fmt.Errorf("rhs=%g", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

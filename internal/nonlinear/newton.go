@@ -1,0 +1,173 @@
+// Package nonlinear implements the nonlinear-solver layer of the Trilinos
+// analog (NOX, paper Table I): a Jacobian-free Newton-Krylov method with
+// backtracking line search. The Jacobian is never formed; directional
+// derivatives are approximated by finite differences of the residual, and
+// each Newton step is solved with GMRES on the resulting matrix-free
+// operator — the workflow the paper sketches in §V where "the solver calls
+// back to Python to evaluate a model".
+package nonlinear
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"odinhpc/internal/distmap"
+	"odinhpc/internal/solvers"
+	"odinhpc/internal/tpetra"
+)
+
+// Residual evaluates the nonlinear system: f = F(x). Implementations must be
+// collective and deterministic.
+type Residual func(x, f *tpetra.Vector)
+
+// Options configures the Newton-Krylov iteration.
+type Options struct {
+	Tol          float64 // absolute ||F(x)|| tolerance (default 1e-8)
+	MaxNewton    int     // outer iterations (default 50)
+	LinearTol    float64 // inner GMRES relative tolerance (default 1e-4)
+	LinearMaxIt  int     // inner GMRES budget (default 200)
+	Restart      int     // GMRES restart (default 30)
+	MaxBacktrack int     // line-search halvings (default 8)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tol <= 0 {
+		o.Tol = 1e-8
+	}
+	if o.MaxNewton <= 0 {
+		o.MaxNewton = 50
+	}
+	if o.LinearTol <= 0 {
+		o.LinearTol = 1e-4
+	}
+	if o.LinearMaxIt <= 0 {
+		o.LinearMaxIt = 200
+	}
+	if o.Restart <= 0 {
+		o.Restart = 30
+	}
+	if o.MaxBacktrack <= 0 {
+		o.MaxBacktrack = 8
+	}
+	return o
+}
+
+// Report describes the outcome of a Newton-Krylov solve.
+type Report struct {
+	Converged   bool
+	Iterations  int       // Newton steps taken
+	FinalNorm   float64   // ||F(x)|| at exit
+	History     []float64 // ||F|| after each Newton step (including initial)
+	LinearIters int       // cumulative GMRES iterations
+	Backtracks  int       // cumulative line-search halvings
+}
+
+func (r Report) String() string {
+	state := "converged"
+	if !r.Converged {
+		state = "NOT converged"
+	}
+	return fmt.Sprintf("Newton-Krylov %s in %d steps, ||F||=%.3e (%d GMRES iters, %d backtracks)",
+		state, r.Iterations, r.FinalNorm, r.LinearIters, r.Backtracks)
+}
+
+// ErrLineSearchFailed is returned when backtracking cannot reduce ||F||.
+var ErrLineSearchFailed = errors.New("nonlinear: line search failed to reduce the residual")
+
+// jfnkOperator is the matrix-free Jacobian: Apply computes
+// J(x) v ~= (F(x + eps v) - F(x)) / eps.
+type jfnkOperator struct {
+	f     Residual
+	x     *tpetra.Vector
+	fx    *tpetra.Vector
+	xNorm float64
+	pert  *tpetra.Vector
+	fPert *tpetra.Vector
+}
+
+func (j *jfnkOperator) Map() *distmap.Map { return j.x.Map() }
+
+func (j *jfnkOperator) Apply(v, y *tpetra.Vector) {
+	vn := v.Norm2()
+	if vn == 0 {
+		y.PutScalar(0)
+		return
+	}
+	eps := math.Sqrt(2.2e-16) * (1 + j.xNorm) / vn
+	j.pert.CopyFrom(j.x)
+	j.pert.Axpy(eps, v)
+	j.f(j.pert, j.fPert)
+	y.CopyFrom(j.fPert)
+	y.Update(-1/eps, j.fx, 1/eps) // y = (fPert - fx)/eps
+}
+
+// NewtonKrylov solves F(x) = 0 starting from the initial guess in x, which
+// is overwritten with the solution. Collective.
+func NewtonKrylov(f Residual, x *tpetra.Vector, opt Options) (Report, error) {
+	opt = opt.withDefaults()
+	rep := Report{}
+	c := x.Comm()
+	m := x.Map()
+
+	fx := tpetra.NewVector(c, m)
+	dx := tpetra.NewVector(c, m)
+	rhs := tpetra.NewVector(c, m)
+	trial := tpetra.NewVector(c, m)
+	fTrial := tpetra.NewVector(c, m)
+
+	f(x, fx)
+	norm := fx.Norm2()
+	rep.History = append(rep.History, norm)
+	rep.FinalNorm = norm
+
+	op := &jfnkOperator{
+		f: f, x: x, fx: fx,
+		pert:  tpetra.NewVector(c, m),
+		fPert: tpetra.NewVector(c, m),
+	}
+
+	for k := 0; k < opt.MaxNewton; k++ {
+		if norm <= opt.Tol {
+			rep.Converged = true
+			return rep, nil
+		}
+		op.xNorm = x.Norm2()
+		// Solve J dx = -F.
+		rhs.CopyFrom(fx)
+		rhs.Scale(-1)
+		dx.PutScalar(0)
+		lin, err := solvers.GMRES(op, rhs, dx, opt.Restart, solvers.Options{
+			Tol: opt.LinearTol, MaxIter: opt.LinearMaxIt,
+		})
+		if err != nil {
+			return rep, fmt.Errorf("nonlinear: inner GMRES: %w", err)
+		}
+		rep.LinearIters += lin.Iterations
+		// Backtracking line search on ||F||.
+		alpha := 1.0
+		improved := false
+		for bt := 0; bt <= opt.MaxBacktrack; bt++ {
+			trial.CopyFrom(x)
+			trial.Axpy(alpha, dx)
+			f(trial, fTrial)
+			if tn := fTrial.Norm2(); tn < norm {
+				x.CopyFrom(trial)
+				fx.CopyFrom(fTrial)
+				norm = tn
+				improved = true
+				break
+			}
+			alpha /= 2
+			rep.Backtracks++
+		}
+		rep.Iterations = k + 1
+		rep.History = append(rep.History, norm)
+		rep.FinalNorm = norm
+		if !improved {
+			return rep, ErrLineSearchFailed
+		}
+	}
+	rep.Converged = norm <= opt.Tol
+	return rep, nil
+}

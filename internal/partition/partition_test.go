@@ -1,0 +1,222 @@
+package partition
+
+import (
+	"testing"
+
+	"odinhpc/internal/galeri"
+)
+
+func TestBlock1DUniform(t *testing.T) {
+	w := make([]float64, 12)
+	for i := range w {
+		w[i] = 1
+	}
+	parts := Block1D(w, 3)
+	if Imbalance(parts, 3) != 1.0 {
+		t.Fatalf("uniform imbalance %g: %v", Imbalance(parts, 3), parts)
+	}
+	// Contiguity.
+	for i := 1; i < len(parts); i++ {
+		if parts[i] < parts[i-1] {
+			t.Fatalf("non-contiguous: %v", parts)
+		}
+	}
+}
+
+func TestBlock1DWeighted(t *testing.T) {
+	// One heavy element at the start: the first part should contain little
+	// else.
+	w := []float64{10, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+	parts := Block1D(w, 2)
+	// Weight of part 0 should be close to half of 19.
+	var w0 float64
+	for i, p := range parts {
+		if p == 0 {
+			w0 += w[i]
+		}
+	}
+	if w0 < 9 || w0 > 13 {
+		t.Fatalf("part 0 weight %g: %v", w0, parts)
+	}
+}
+
+func TestBlock1DZeroWeights(t *testing.T) {
+	parts := Block1D(make([]float64, 10), 4)
+	if Imbalance(parts, 4) > 1.21 {
+		t.Fatalf("zero-weight fallback imbalance: %v", parts)
+	}
+}
+
+func TestBlock1DValidation(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero-p":     func() { Block1D([]float64{1}, 0) },
+		"neg-weight": func() { Block1D([]float64{-1}, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRCBGridQuality(t *testing.T) {
+	// On a 16x16 grid into 4 parts, RCB should produce quadrant-like cuts
+	// with far lower edge cut than a cyclic assignment.
+	nx, ny := 16, 16
+	coords := GridCoords(nx, ny)
+	adj := galeri.Laplace2D(nx, ny)
+	parts := RCB(coords, 4)
+	if imb := Imbalance(parts, 4); imb > 1.05 {
+		t.Fatalf("RCB imbalance %g", imb)
+	}
+	rcbCut := EdgeCut(adj, parts)
+	cyclic := make([]int, nx*ny)
+	for i := range cyclic {
+		cyclic[i] = i % 4
+	}
+	cyclicCut := EdgeCut(adj, cyclic)
+	if rcbCut*5 > cyclicCut {
+		t.Fatalf("RCB cut %d not much better than cyclic %d", rcbCut, cyclicCut)
+	}
+	// The ideal 4-quadrant cut is 2*16 = 32.
+	if rcbCut > 48 {
+		t.Fatalf("RCB cut %d too high (ideal 32)", rcbCut)
+	}
+}
+
+func TestRCBNonPowerOfTwo(t *testing.T) {
+	coords := GridCoords(9, 9)
+	parts := RCB(coords, 3)
+	if imb := Imbalance(parts, 3); imb > 1.12 {
+		t.Fatalf("imbalance %g", imb)
+	}
+	seen := map[int]bool{}
+	for _, p := range parts {
+		seen[p] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("parts used: %v", seen)
+	}
+}
+
+func TestRCBEmptyAndSingle(t *testing.T) {
+	if got := RCB(nil, 3); len(got) != 0 {
+		t.Fatal("empty input")
+	}
+	got := RCB([][]float64{{1, 2}}, 2)
+	if len(got) != 1 {
+		t.Fatal("single point")
+	}
+}
+
+func TestGreedyGraphBalanced(t *testing.T) {
+	adj := galeri.Laplace2D(10, 10)
+	parts := GreedyGraph(adj, 4)
+	if imb := Imbalance(parts, 4); imb > 1.2 {
+		t.Fatalf("imbalance %g", imb)
+	}
+	// All vertices assigned.
+	for i, p := range parts {
+		if p < 0 || p >= 4 {
+			t.Fatalf("vertex %d part %d", i, p)
+		}
+	}
+	// Greedy growing beats random assignment on edge cut.
+	rand := make([]int, 100)
+	for i := range rand {
+		rand[i] = (i * 7) % 4
+	}
+	if EdgeCut(adj, parts) >= EdgeCut(adj, rand) {
+		t.Fatalf("greedy cut %d >= scattered cut %d", EdgeCut(adj, parts), EdgeCut(adj, rand))
+	}
+}
+
+func TestEdgeCutCountsOnce(t *testing.T) {
+	adj := galeri.Laplace1D(4) // path 0-1-2-3
+	parts := []int{0, 0, 1, 1}
+	if got := EdgeCut(adj, parts); got != 1 {
+		t.Fatalf("cut=%d want 1", got)
+	}
+	if got := EdgeCut(adj, []int{0, 1, 0, 1}); got != 3 {
+		t.Fatalf("cut=%d want 3", got)
+	}
+}
+
+func TestImbalanceMetric(t *testing.T) {
+	if got := Imbalance([]int{0, 0, 1, 1}, 2); got != 1.0 {
+		t.Fatalf("balanced: %g", got)
+	}
+	if got := Imbalance([]int{0, 0, 0, 1}, 2); got != 1.5 {
+		t.Fatalf("3-1 split: %g", got)
+	}
+	if got := Imbalance(nil, 3); got != 1.0 {
+		t.Fatalf("empty: %g", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad part id should panic")
+		}
+	}()
+	Imbalance([]int{5}, 2)
+}
+
+func TestToMapRoundTrip(t *testing.T) {
+	parts := []int{0, 1, 0, 2, 1}
+	m := ToMap(parts, 3)
+	for g, p := range parts {
+		if m.Owner(g) != p {
+			t.Fatalf("Owner(%d)=%d want %d", g, m.Owner(g), p)
+		}
+	}
+}
+
+func TestGridCoords(t *testing.T) {
+	c := GridCoords(3, 2)
+	if len(c) != 6 {
+		t.Fatal("count")
+	}
+	if c[4][0] != 1 || c[4][1] != 1 {
+		t.Fatalf("coords[4]=%v", c[4])
+	}
+}
+
+func TestGreedyColoring(t *testing.T) {
+	// 2-D grid graphs are bipartite-ish for the 5-point stencil: the greedy
+	// coloring must be valid and small.
+	adj := galeri.Laplace2D(8, 8)
+	colors := GreedyColoring(adj)
+	if !ValidColoring(adj, colors) {
+		t.Fatal("invalid coloring")
+	}
+	if nc := NumColors(colors); nc < 2 || nc > 3 {
+		t.Fatalf("grid colored with %d colors", nc)
+	}
+	// A path graph needs exactly 2.
+	path := galeri.Laplace1D(10)
+	pc := GreedyColoring(path)
+	if !ValidColoring(path, pc) || NumColors(pc) != 2 {
+		t.Fatalf("path coloring: %v", pc)
+	}
+	// Empty graph.
+	if NumColors(GreedyColoring(galeri.Laplace1D(0))) != 0 {
+		t.Fatal("empty graph")
+	}
+	// Invalid colorings are detected.
+	bad := make([]int, 10)
+	if ValidColoring(path, bad) {
+		t.Fatal("all-same coloring accepted")
+	}
+}
+
+func TestGreedyGraphValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	GreedyGraph(galeri.Laplace1D(4), 0)
+}

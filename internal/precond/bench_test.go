@@ -1,0 +1,73 @@
+package precond
+
+import (
+	"fmt"
+	"testing"
+
+	"odinhpc/internal/galeri"
+	"odinhpc/internal/sparse"
+)
+
+// BenchmarkAMGSetup measures hierarchy construction (aggregation, smoothed
+// prolongator, Galerkin products, coarse LU) on 2-D Poisson matrices.
+func BenchmarkAMGSetup(b *testing.B) {
+	for _, nx := range []int{16, 32, 64} {
+		a := galeri.Laplace2D(nx, nx)
+		b.Run(fmt.Sprintf("nx=%d", nx), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := NewSerialAMG(a, AMGOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAMGVCycle measures one V-cycle.
+func BenchmarkAMGVCycle(b *testing.B) {
+	for _, nx := range []int{32, 64} {
+		a := galeri.Laplace2D(nx, nx)
+		amg, err := NewSerialAMG(a, AMGOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := nx * nx
+		r := make([]float64, n)
+		z := make([]float64, n)
+		for i := range r {
+			r[i] = 1
+		}
+		b.Run(fmt.Sprintf("nx=%d", nx), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				amg.LocalSolve(r, z)
+			}
+		})
+	}
+}
+
+// BenchmarkILU0Factor measures the incomplete factorization.
+func BenchmarkILU0Factor(b *testing.B) {
+	a := galeri.Laplace2D(48, 48)
+	b.Run("factor", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sparse.ILU0(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	f, err := sparse.ILU0(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := a.Rows
+	r := make([]float64, n)
+	z := make([]float64, n)
+	for i := range r {
+		r[i] = 1
+	}
+	b.Run("solve", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f.Solve(r, z)
+		}
+	})
+}

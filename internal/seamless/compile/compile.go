@@ -1,0 +1,224 @@
+// Package compile implements the compiled execution engine of the Seamless
+// analog: typed ASTs are lowered to statically typed Go closures operating
+// on unboxed slot frames — no Value boxing, no per-op dynamic dispatch, and
+// builtins resolved to direct math calls. This is the LLVM-JIT stand-in of
+// paper §IV.A/§IV.B: the same source the vm package interprets runs here at
+// compiled-code speed (experiment E6 measures the ratio), and compiled
+// kernels can be exported as ordinary Go funcs (§IV.D, package export).
+package compile
+
+import (
+	"fmt"
+
+	"odinhpc/internal/seamless"
+)
+
+// flow is the control-flow signal a compiled statement returns.
+type flow int
+
+const (
+	flowNormal flow = iota
+	flowBreak
+	flowContinue
+	flowReturn
+)
+
+// frame is the unboxed activation record: one slice per slot bank.
+type frame struct {
+	f  []float64
+	i  []int64
+	b  []bool
+	af [][]float64
+	ai [][]int64
+
+	retF  float64
+	retI  int64
+	retB  bool
+	retAF []float64
+	retAI []int64
+}
+
+// slotRef locates a variable in its typed bank.
+type slotRef struct {
+	t    seamless.Type
+	slot int
+}
+
+// Compiled is one natively compiled function specialization.
+type Compiled struct {
+	Name                 string
+	Ret                  seamless.Type
+	tf                   *seamless.TypedFn
+	params               []slotRef
+	nF, nI, nB, nAF, nAI int
+	body                 []func(*frame) flow
+}
+
+// Engine compiles typed functions into closures, memoized per
+// specialization.
+type Engine struct {
+	prog *seamless.Program
+	fns  map[*seamless.TypedFn]*Compiled
+}
+
+// NewEngine wraps a program. An Engine is owned by one goroutine (its
+// compilation caches are unsynchronized); give each rank its own, or
+// compile before entering the parallel region as the examples do.
+func NewEngine(prog *seamless.Program) *Engine {
+	return &Engine{prog: prog, fns: map[*seamless.TypedFn]*Compiled{}}
+}
+
+// CompileFor compiles (and caches) one specialization. Mutual and direct
+// recursion are supported: the entry is registered before its body is
+// built.
+func (e *Engine) CompileFor(tf *seamless.TypedFn) (*Compiled, error) {
+	if c, ok := e.fns[tf]; ok {
+		return c, nil
+	}
+	c := &Compiled{Name: tf.Fn.Name, Ret: tf.Ret, tf: tf}
+	e.fns[tf] = c
+	cc := &fnCompiler{engine: e, tf: tf, out: c, slots: map[string]slotRef{}}
+	for i, p := range tf.Fn.Params {
+		ref := cc.slot(p.Name)
+		_ = i
+		c.params = append(c.params, ref)
+	}
+	for _, s := range tf.Fn.Body {
+		st, err := cc.stmt(s)
+		if err != nil {
+			delete(e.fns, tf)
+			return nil, err
+		}
+		c.body = append(c.body, st)
+	}
+	c.nF, c.nI, c.nB, c.nAF, c.nAI = cc.nF, cc.nI, cc.nB, cc.nAF, cc.nAI
+	return c, nil
+}
+
+// Call specializes, compiles, and invokes a function on boxed arguments
+// (boxing happens only at this outer boundary).
+func (e *Engine) Call(name string, args ...seamless.Value) (out seamless.Value, err error) {
+	types := make([]seamless.Type, len(args))
+	for i, a := range args {
+		types[i] = a.K
+	}
+	tf, err := e.prog.Specialize(name, types)
+	if err != nil {
+		return seamless.NoneV(), err
+	}
+	c, err := e.CompileFor(tf)
+	if err != nil {
+		return seamless.NoneV(), err
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("compile: %s: runtime fault: %v", name, r)
+		}
+	}()
+	fr := c.newFrame()
+	for i, a := range args {
+		c.storeArg(fr, i, a)
+	}
+	c.run(fr)
+	return c.boxedResult(fr), nil
+}
+
+func (c *Compiled) newFrame() *frame {
+	return &frame{
+		f:  make([]float64, c.nF),
+		i:  make([]int64, c.nI),
+		b:  make([]bool, c.nB),
+		af: make([][]float64, c.nAF),
+		ai: make([][]int64, c.nAI),
+	}
+}
+
+func (c *Compiled) storeArg(fr *frame, i int, v seamless.Value) {
+	ref := c.params[i]
+	switch ref.t {
+	case seamless.TFloat:
+		fr.f[ref.slot] = v.AsFloat()
+	case seamless.TInt:
+		fr.i[ref.slot] = v.AsInt()
+	case seamless.TBool:
+		fr.b[ref.slot] = v.B
+	case seamless.TArrFloat:
+		fr.af[ref.slot] = v.AF
+	case seamless.TArrInt:
+		fr.ai[ref.slot] = v.AI
+	}
+}
+
+func (c *Compiled) run(fr *frame) {
+	for _, st := range c.body {
+		if st(fr) == flowReturn {
+			return
+		}
+	}
+}
+
+func (c *Compiled) boxedResult(fr *frame) seamless.Value {
+	switch c.Ret {
+	case seamless.TFloat:
+		return seamless.FloatV(fr.retF)
+	case seamless.TInt:
+		return seamless.IntV(fr.retI)
+	case seamless.TBool:
+		return seamless.BoolV(fr.retB)
+	case seamless.TArrFloat:
+		return seamless.ArrFV(fr.retAF)
+	case seamless.TArrInt:
+		return seamless.ArrIV(fr.retAI)
+	}
+	return seamless.NoneV()
+}
+
+// fnCompiler holds per-function compilation state.
+type fnCompiler struct {
+	engine               *Engine
+	tf                   *seamless.TypedFn
+	out                  *Compiled
+	slots                map[string]slotRef
+	nF, nI, nB, nAF, nAI int
+}
+
+// slot assigns (or returns) the typed slot of a variable.
+func (cc *fnCompiler) slot(name string) slotRef {
+	if r, ok := cc.slots[name]; ok {
+		return r
+	}
+	t, ok := cc.tf.VarTypes[name]
+	if !ok {
+		panic(fmt.Sprintf("compile: variable %q missing from inference", name))
+	}
+	var r slotRef
+	switch t {
+	case seamless.TFloat:
+		r = slotRef{t, cc.nF}
+		cc.nF++
+	case seamless.TInt:
+		r = slotRef{t, cc.nI}
+		cc.nI++
+	case seamless.TBool:
+		r = slotRef{t, cc.nB}
+		cc.nB++
+	case seamless.TArrFloat:
+		r = slotRef{t, cc.nAF}
+		cc.nAF++
+	case seamless.TArrInt:
+		r = slotRef{t, cc.nAI}
+		cc.nAI++
+	default:
+		panic(fmt.Sprintf("compile: variable %q has type %v", name, t))
+	}
+	cc.slots[name] = r
+	return r
+}
+
+func (cc *fnCompiler) typeOf(e seamless.Expr) seamless.Type {
+	t, ok := cc.tf.ExprTypes[e]
+	if !ok {
+		panic(fmt.Sprintf("compile: expression %T missing from inference", e))
+	}
+	return t
+}

@@ -1,0 +1,414 @@
+package compile
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"odinhpc/internal/seamless"
+	"odinhpc/internal/seamless/vm"
+)
+
+// corpus is the shared program set both engines must agree on — the central
+// correctness property of the Seamless reproduction: compilation changes
+// speed, never results.
+const corpus = `
+def sum(it):
+    res = 0.0
+    for i in range(len(it)):
+        res += it[i]
+    return res
+
+def dot(a, b):
+    acc = 0.0
+    for i in range(len(a)):
+        acc += a[i] * b[i]
+    return acc
+
+def saxpy(alpha, x, y):
+    out = zeros(len(x))
+    for i in range(len(x)):
+        out[i] = alpha * x[i] + y[i]
+    return out
+
+def mandel(cr, ci, maxiter):
+    zr = 0.0
+    zi = 0.0
+    n = 0
+    while n < maxiter and zr * zr + zi * zi <= 4.0:
+        t = zr * zr - zi * zi + cr
+        zi = 2.0 * zr * zi + ci
+        zr = t
+        n += 1
+    return n
+
+def fib(n) -> int:
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+
+def gcd(a, b) -> int:
+    while b != 0:
+        t = b
+        b = a % b
+        a = t
+    return a
+
+def poly(x):
+    return ((2.0 * x + 1.0) * x - 3.0) * x + 0.5
+
+def clip(x, lo, hi):
+    return min(max(x, lo), hi)
+
+def stats(xs):
+    n = len(xs)
+    mean = 0.0
+    for i in range(n):
+        mean += xs[i]
+    mean = mean / float(n)
+    var = 0.0
+    for i in range(n):
+        d = xs[i] - mean
+        var += d * d
+    return sqrt(var / float(n))
+
+def strange(a, b):
+    x = a // b + a % b + a ** 2
+    if x > 10 and not (x > 1000) or b == 1:
+        return x
+    return -x
+`
+
+func engines(t *testing.T) (*Engine, *vm.Engine, *Engine) {
+	t.Helper()
+	progC, err := seamless.CompileSource(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progV, err := seamless.CompileSource(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec := NewEngine(progC)
+	ev := vm.NewEngine(progV)
+	return ec, ev, ec
+}
+
+func agree(t *testing.T, ec *Engine, ev *vm.Engine, name string, args ...seamless.Value) seamless.Value {
+	t.Helper()
+	cv, cerr := ec.Call(name, args...)
+	vv, verr := ev.Call(name, args...)
+	if (cerr == nil) != (verr == nil) {
+		t.Fatalf("%s: error disagreement: compile=%v vm=%v", name, cerr, verr)
+	}
+	if cerr != nil {
+		return seamless.NoneV()
+	}
+	if cv.K != vv.K {
+		t.Fatalf("%s: kind %v vs %v", name, cv.K, vv.K)
+	}
+	switch cv.K {
+	case seamless.TFloat:
+		if cv.F != vv.F && !(math.IsNaN(cv.F) && math.IsNaN(vv.F)) {
+			t.Fatalf("%s: %v vs %v", name, cv.F, vv.F)
+		}
+	case seamless.TInt:
+		if cv.I != vv.I {
+			t.Fatalf("%s: %v vs %v", name, cv.I, vv.I)
+		}
+	case seamless.TBool:
+		if cv.B != vv.B {
+			t.Fatalf("%s: %v vs %v", name, cv.B, vv.B)
+		}
+	case seamless.TArrFloat:
+		if len(cv.AF) != len(vv.AF) {
+			t.Fatalf("%s: lengths %d vs %d", name, len(cv.AF), len(vv.AF))
+		}
+		for i := range cv.AF {
+			if cv.AF[i] != vv.AF[i] {
+				t.Fatalf("%s: [%d] %v vs %v", name, i, cv.AF[i], vv.AF[i])
+			}
+		}
+	}
+	return cv
+}
+
+func TestEnginesAgreeOnCorpus(t *testing.T) {
+	ec, ev, _ := engines(t)
+	xs := seamless.ArrFV([]float64{1.5, -2, 3.25, 0, 7})
+	ys := seamless.ArrFV([]float64{2, 0.5, -1, 4, 0.25})
+	if got := agree(t, ec, ev, "sum", xs); got.F != 9.75 {
+		t.Fatalf("sum = %v", got.F)
+	}
+	agree(t, ec, ev, "dot", xs, ys)
+	agree(t, ec, ev, "saxpy", seamless.FloatV(2.5), xs, ys)
+	agree(t, ec, ev, "mandel", seamless.FloatV(-0.75), seamless.FloatV(0.1), seamless.IntV(500))
+	if got := agree(t, ec, ev, "fib", seamless.IntV(18)); got.I != 2584 {
+		t.Fatalf("fib = %v", got.I)
+	}
+	if got := agree(t, ec, ev, "gcd", seamless.IntV(462), seamless.IntV(1071)); got.I != 21 {
+		t.Fatalf("gcd = %v", got.I)
+	}
+	agree(t, ec, ev, "poly", seamless.FloatV(1.3))
+	agree(t, ec, ev, "clip", seamless.FloatV(11), seamless.FloatV(0), seamless.FloatV(10))
+	agree(t, ec, ev, "stats", xs)
+	for a := int64(-8); a <= 8; a++ {
+		for b := int64(1); b <= 4; b++ {
+			agree(t, ec, ev, "strange", seamless.IntV(a), seamless.IntV(b))
+		}
+	}
+}
+
+// TestEnginesAgreeQuick fuzzes the numeric kernels with random inputs.
+func TestEnginesAgreeQuick(t *testing.T) {
+	ec, ev, _ := engines(t)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+			ys[i] = rng.NormFloat64() * 10
+		}
+		agree(t, ec, ev, "sum", seamless.ArrFV(xs))
+		agree(t, ec, ev, "dot", seamless.ArrFV(xs), seamless.ArrFV(ys))
+		agree(t, ec, ev, "saxpy", seamless.FloatV(rng.NormFloat64()), seamless.ArrFV(xs), seamless.ArrFV(ys))
+		agree(t, ec, ev, "stats", seamless.ArrFV(xs))
+		agree(t, ec, ev, "mandel", seamless.FloatV(rng.NormFloat64()), seamless.FloatV(rng.NormFloat64()), seamless.IntV(int64(rng.Intn(200))))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompiledCorrectness(t *testing.T) {
+	ec, _, _ := engines(t)
+	out, err := ec.Call("sum", seamless.ArrFV([]float64{1, 2, 3.5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.F != 6.5 {
+		t.Fatalf("sum = %v", out)
+	}
+	out, err = ec.Call("saxpy", seamless.FloatV(2), seamless.ArrFV([]float64{1, 2}), seamless.ArrFV([]float64{10, 20}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.AF[0] != 12 || out.AF[1] != 24 {
+		t.Fatalf("saxpy = %v", out.AF)
+	}
+}
+
+func TestCompiledMutatesCallerArrays(t *testing.T) {
+	src := `
+def bump(xs):
+    for i in range(len(xs)):
+        xs[i] += 1.0
+`
+	prog, err := seamless.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(prog)
+	buf := []float64{1, 2}
+	if _, err := e.Call("bump", seamless.ArrFV(buf)); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 2 || buf[1] != 3 {
+		t.Fatalf("mutation lost: %v", buf)
+	}
+}
+
+func TestCompiledRuntimeFaults(t *testing.T) {
+	src := "def oob(xs):\n    return xs[100]\n"
+	prog, _ := seamless.CompileSource(src)
+	e := NewEngine(prog)
+	if _, err := e.Call("oob", seamless.ArrFV([]float64{1})); err == nil {
+		t.Fatal("out of bounds accepted")
+	}
+}
+
+func TestCompiledExtern(t *testing.T) {
+	prog, _ := seamless.CompileSource("def f(y, x):\n    return at2(y, x) + at2(1.0, 1.0)\n")
+	prog.Bind("at2", seamless.Extern{NArgs: 2, Fn: func(a ...float64) float64 { return math.Atan2(a[0], a[1]) }})
+	e := NewEngine(prog)
+	out, err := e.Call("f", seamless.FloatV(1), seamless.FloatV(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Atan2(1, 2) + math.Pi/4
+	if math.Abs(out.F-want) > 1e-15 {
+		t.Fatalf("extern = %v want %v", out.F, want)
+	}
+}
+
+func TestCompiledShortCircuit(t *testing.T) {
+	src := `
+def f(x):
+    if x > 0.0 and 1.0 / x > 0.5:
+        return 1
+    return 0
+`
+	prog, _ := seamless.CompileSource(src)
+	e := NewEngine(prog)
+	out, err := e.Call("f", seamless.FloatV(0))
+	if err != nil || out.I != 0 {
+		t.Fatalf("short circuit: %v %v", out, err)
+	}
+}
+
+func TestCompiledVoidAndBoolFns(t *testing.T) {
+	src := `
+def even(n):
+    return n % 2 == 0
+
+def fill(xs, v):
+    for i in range(len(xs)):
+        xs[i] = v
+
+def main(xs):
+    fill(xs, 3.0)
+    if even(4):
+        return xs[0]
+    return 0.0
+`
+	prog, _ := seamless.CompileSource(src)
+	e := NewEngine(prog)
+	out, err := e.Call("main", seamless.ArrFV(make([]float64, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.F != 3 {
+		t.Fatalf("main = %v", out)
+	}
+	// Direct bool call.
+	b, err := e.Call("even", seamless.IntV(5))
+	if err != nil || b.B {
+		t.Fatalf("even(5) = %v %v", b, err)
+	}
+}
+
+func TestCompiledIntArrays(t *testing.T) {
+	src := `
+def histo(xs, nb):
+    h = izeros(nb)
+    for i in range(len(xs)):
+        b = int(xs[i])
+        if b >= 0 and b < nb:
+            h[b] += 1
+    return h
+`
+	prog, _ := seamless.CompileSource(src)
+	e := NewEngine(prog)
+	out, err := e.Call("histo", seamless.ArrFV([]float64{0.1, 1.2, 1.9, 3.5}), seamless.IntV(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.AI[0] != 1 || out.AI[1] != 2 || out.AI[2] != 0 || out.AI[3] != 1 {
+		t.Fatalf("histo = %v", out.AI)
+	}
+}
+
+// TestCompiledFasterThanVM is the qualitative E6 check inside the test
+// suite: on a numeric kernel the compiled engine must beat the interpreter
+// by a wide margin. (The full measured table lives in the benchmarks.)
+func TestCompiledFasterThanVM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	ec, ev, _ := engines(t)
+	xs := make([]float64, 100000)
+	for i := range xs {
+		xs[i] = float64(i % 17)
+	}
+	arg := seamless.ArrFV(xs)
+	// Warm up both (specialization + lowering).
+	if _, err := ec.Call("sum", arg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ev.Call("sum", arg); err != nil {
+		t.Fatal(err)
+	}
+	timeIt := func(f func()) float64 {
+		const reps = 5
+		best := math.Inf(1)
+		for r := 0; r < reps; r++ {
+			start := nowNanos()
+			f()
+			if d := float64(nowNanos() - start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	tc := timeIt(func() { ec.Call("sum", arg) })
+	tv := timeIt(func() { ev.Call("sum", arg) })
+	if tv < 3*tc {
+		t.Fatalf("compiled not clearly faster: vm=%.0fns compiled=%.0fns", tv, tc)
+	}
+}
+
+func TestChainedComparisonBothEngines(t *testing.T) {
+	src := `
+def inrange(x, lo, hi):
+    if lo <= x < hi:
+        return 1
+    return 0
+
+def tri(a, b, c):
+    return 0.0 < a < b < c
+`
+	pv, _ := seamless.CompileSource(src)
+	pc, _ := seamless.CompileSource(src)
+	ev := vm.NewEngine(pv)
+	ec := NewEngine(pc)
+	for _, tc := range []struct {
+		x    float64
+		want int64
+	}{{0.5, 1}, {-1, 0}, {1, 0}, {0, 1}} {
+		args := []seamless.Value{seamless.FloatV(tc.x), seamless.FloatV(0), seamless.FloatV(1)}
+		cv, err := ec.Call("inrange", args...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vv, err := ev.Call("inrange", args...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cv.I != tc.want || vv.I != tc.want {
+			t.Fatalf("inrange(%g): compiled %d vm %d want %d", tc.x, cv.I, vv.I, tc.want)
+		}
+	}
+	cv, err := ec.Call("tri", seamless.FloatV(1), seamless.FloatV(2), seamless.FloatV(3))
+	if err != nil || !cv.B {
+		t.Fatalf("tri ascending: %v %v", cv, err)
+	}
+	cv, _ = ec.Call("tri", seamless.FloatV(1), seamless.FloatV(3), seamless.FloatV(2))
+	if cv.B {
+		t.Fatal("tri non-ascending accepted")
+	}
+}
+
+func TestSpecializationReuse(t *testing.T) {
+	prog, _ := seamless.CompileSource("def double(x):\n    return x + x\n")
+	e := NewEngine(prog)
+	a, err := e.Call("double", seamless.IntV(21))
+	if err != nil || a.I != 42 {
+		t.Fatalf("int: %v %v", a, err)
+	}
+	b, err := e.Call("double", seamless.FloatV(1.5))
+	if err != nil || b.F != 3 {
+		t.Fatalf("float: %v %v", b, err)
+	}
+	if len(e.fns) != 2 {
+		t.Fatalf("compiled %d specializations", len(e.fns))
+	}
+	// Second int call reuses the compiled body.
+	e.Call("double", seamless.IntV(1))
+	if len(e.fns) != 2 {
+		t.Fatal("re-compiled")
+	}
+}

@@ -1,0 +1,247 @@
+package compile
+
+import (
+	"testing"
+
+	"odinhpc/internal/seamless"
+	"odinhpc/internal/seamless/vm"
+)
+
+// kitchenSink touches every statement form and every typed expression path
+// of both engines: bool variables and parameters, float // and %, unary
+// not, int arrays end to end, augmented index assignments with each
+// operator, pass/continue/break, void calls, nested calls in every result
+// position, and while-loop mutation of state.
+const kitchenSink = `
+def boolparam(flag, x):
+    ok = flag and not (x < 0.0)
+    if ok == True:
+        return 1
+    return 0
+
+def floatops(a, b):
+    q = a // b
+    r = a % b
+    s = a ** 2.0
+    return q * 1000.0 + r * 10.0 + s / 100.0
+
+def intarrays(src):
+    out = izeros(len(src))
+    for i in range(len(src)):
+        out[i] = src[i] * 2
+    t = 0
+    for i in range(len(out)):
+        t += out[i]
+    return t
+
+def augindex(xs):
+    xs[0] += 1.0
+    xs[1] -= 2.0
+    xs[2] *= 3.0
+    xs[3] /= 4.0
+    s = 0.0
+    for i in range(len(xs)):
+        s += xs[i]
+    return s
+
+def controlsoup(n):
+    total = 0
+    i = 0
+    while True == (i < n):
+        i += 1
+        if i % 3 == 0:
+            continue
+        if i > 17:
+            break
+        total += i
+    j = n
+    while j > 0:
+        j -= 1
+        pass
+    return total
+
+def helper_arrf(n):
+    a = zeros(n)
+    for i in range(n):
+        a[i] = float(i) + 0.5
+    return a
+
+def helper_arri(n):
+    a = izeros(n)
+    for i in range(n):
+        a[i] = i * i
+    return a
+
+def helper_bool(x):
+    return x > 0.0
+
+def callpositions(n):
+    fa = helper_arrf(n)
+    ia = helper_arri(n)
+    acc = 0.0
+    if helper_bool(fa[0]):
+        acc += fa[n - 1]
+    acc += float(ia[n - 1])
+    return acc
+
+def negint(a):
+    return -a
+
+def intfloatmix(i, f):
+    return i + f * 2.0 - i / 2
+`
+
+func kitchenEngines(t *testing.T) (*Engine, *vm.Engine) {
+	t.Helper()
+	pc, err := seamless.CompileSource(kitchenSink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv, err := seamless.CompileSource(kitchenSink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(pc), vm.NewEngine(pv)
+}
+
+func TestKitchenSinkBothEngines(t *testing.T) {
+	ec, ev := kitchenEngines(t)
+	// Kernels may mutate array arguments, so each engine gets its own copy.
+	cloneArgs := func(args []seamless.Value) []seamless.Value {
+		out := make([]seamless.Value, len(args))
+		for i, a := range args {
+			switch a.K {
+			case seamless.TArrFloat:
+				out[i] = seamless.ArrFV(append([]float64(nil), a.AF...))
+			case seamless.TArrInt:
+				out[i] = seamless.ArrIV(append([]int64(nil), a.AI...))
+			default:
+				out[i] = a
+			}
+		}
+		return out
+	}
+	check := func(name string, want seamless.Value, args ...seamless.Value) {
+		t.Helper()
+		cv, err := ec.Call(name, cloneArgs(args)...)
+		if err != nil {
+			t.Fatalf("%s compiled: %v", name, err)
+		}
+		vv, err := ev.Call(name, cloneArgs(args)...)
+		if err != nil {
+			t.Fatalf("%s vm: %v", name, err)
+		}
+		if cv.K != vv.K || cv.I != vv.I || cv.F != vv.F || cv.B != vv.B {
+			t.Fatalf("%s: engines disagree: %v vs %v", name, cv, vv)
+		}
+		if want.K != seamless.TNone {
+			if cv.K != want.K {
+				t.Fatalf("%s: kind %v want %v", name, cv.K, want.K)
+			}
+			switch want.K {
+			case seamless.TInt:
+				if cv.I != want.I {
+					t.Fatalf("%s: %d want %d", name, cv.I, want.I)
+				}
+			case seamless.TFloat:
+				if cv.F != want.F {
+					t.Fatalf("%s: %g want %g", name, cv.F, want.F)
+				}
+			case seamless.TBool:
+				if cv.B != want.B {
+					t.Fatalf("%s: %v want %v", name, cv.B, want.B)
+				}
+			}
+		}
+	}
+
+	check("boolparam", seamless.IntV(1), seamless.BoolV(true), seamless.FloatV(2))
+	check("boolparam", seamless.IntV(0), seamless.BoolV(true), seamless.FloatV(-2))
+	check("boolparam", seamless.IntV(0), seamless.BoolV(false), seamless.FloatV(2))
+
+	// floatops(7.5, 2): q=3, r=1.5, s=56.25 -> 3000 + 15 + 0.5625.
+	check("floatops", seamless.FloatV(3015.5625), seamless.FloatV(7.5), seamless.FloatV(2))
+
+	check("intarrays", seamless.IntV(2*(1+2+3+4)), seamless.ArrIV([]int64{1, 2, 3, 4}))
+
+	// augindex([1,2,3,4]): [2, 0, 9, 1] -> 12.
+	check("augindex", seamless.FloatV(12), seamless.ArrFV([]float64{1, 2, 3, 4}))
+
+	// controlsoup(100): sums i in 1..17 skipping multiples of 3:
+	// 1+2+4+5+7+8+10+11+13+14+16+17 = 108.
+	check("controlsoup", seamless.IntV(108), seamless.IntV(100))
+
+	// callpositions(4): fa[0]=0.5>0 so acc = fa[3]=3.5 + ia[3]=9 -> 12.5.
+	check("callpositions", seamless.FloatV(12.5), seamless.IntV(4))
+
+	check("negint", seamless.IntV(-7), seamless.IntV(7))
+
+	// intfloatmix(5, 1.5): 5 + 3.0 - 2.5 = 5.5 (int/int is true division).
+	check("intfloatmix", seamless.FloatV(5.5), seamless.IntV(5), seamless.FloatV(1.5))
+
+	// Array-returning functions called at the boundary.
+	arr, err := ec.Call("helper_arrf", seamless.IntV(3))
+	if err != nil || len(arr.AF) != 3 || arr.AF[2] != 2.5 {
+		t.Fatalf("helper_arrf: %v %v", arr, err)
+	}
+	iarr, err := ec.Call("helper_arri", seamless.IntV(3))
+	if err != nil || len(iarr.AI) != 3 || iarr.AI[2] != 4 {
+		t.Fatalf("helper_arri: %v %v", iarr, err)
+	}
+	bv, err := ec.Call("helper_bool", seamless.FloatV(-1))
+	if err != nil || bv.B {
+		t.Fatalf("helper_bool: %v %v", bv, err)
+	}
+}
+
+func TestForLoopNegativeStepCompiled(t *testing.T) {
+	src := `
+def down(a, b, s):
+    t = 0
+    for i in range(a, b, s):
+        t += i
+    return t
+
+def zerostep(n):
+    t = 0
+    for i in range(0, n, n - n):
+        t += 1
+    return t
+`
+	pc, _ := seamless.CompileSource(src)
+	ec := NewEngine(pc)
+	out, err := ec.Call("down", seamless.IntV(10), seamless.IntV(0), seamless.IntV(-2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.I != 10+8+6+4+2 {
+		t.Fatalf("down = %d", out.I)
+	}
+	// Zero step faults at runtime in both engines.
+	if _, err := ec.Call("zerostep", seamless.IntV(3)); err == nil {
+		t.Fatal("zero step accepted (compiled)")
+	}
+	pv, _ := seamless.CompileSource(src)
+	ev := vm.NewEngine(pv)
+	if out, err := ev.Call("down", seamless.IntV(10), seamless.IntV(0), seamless.IntV(-2)); err != nil || out.I != 30 {
+		t.Fatalf("vm down: %v %v", out, err)
+	}
+}
+
+func TestCompileErrorsSurface(t *testing.T) {
+	// Inference failures must arrive as errors from Call, not panics.
+	pc, err := seamless.CompileSource("def f(x):\n    return x + unknownfn(x)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec := NewEngine(pc)
+	if _, err := ec.Call("f", seamless.FloatV(1)); err == nil {
+		t.Fatal("unknown function accepted")
+	}
+	if _, err := ec.Call("nosuch", seamless.FloatV(1)); err == nil {
+		t.Fatal("unknown entry point accepted")
+	}
+	if _, err := ec.Call("f"); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+}

@@ -1,0 +1,335 @@
+package compile
+
+import (
+	"fmt"
+
+	"odinhpc/internal/seamless"
+)
+
+func (cc *fnCompiler) block(stmts []seamless.Stmt) ([]func(*frame) flow, error) {
+	out := make([]func(*frame) flow, 0, len(stmts))
+	for _, s := range stmts {
+		st, err := cc.stmt(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}
+
+func runBlock(body []func(*frame) flow, fr *frame) flow {
+	for _, st := range body {
+		if f := st(fr); f != flowNormal {
+			return f
+		}
+	}
+	return flowNormal
+}
+
+func (cc *fnCompiler) stmt(s seamless.Stmt) (func(*frame) flow, error) {
+	switch st := s.(type) {
+	case *seamless.AssignStmt:
+		ref := cc.slot(st.Name)
+		return cc.store(ref, st.X)
+	case *seamless.AugAssignStmt:
+		ref := cc.slot(st.Name)
+		// Desugar: name = name op expr, preserving the variable's type.
+		read := &seamless.NameExpr{Pos: st.Pos, Name: st.Name}
+		cc.tf.ExprTypes[read] = ref.t
+		combined := &seamless.BinExpr{Pos: st.Pos, Op: st.Op, L: read, R: st.X}
+		rt, err := augType(st.Op, ref.t, cc.typeOf(st.X))
+		if err != nil {
+			return nil, err
+		}
+		cc.tf.ExprTypes[combined] = rt
+		return cc.store(ref, combined)
+	case *seamless.IndexAssignStmt:
+		ref := cc.slot(st.Name)
+		idx, err := cc.intExpr(st.Index)
+		if err != nil {
+			return nil, err
+		}
+		var rhs seamless.Expr = st.X
+		if st.Op != "" {
+			read := &seamless.IndexExpr{Pos: st.Pos, Arr: &seamless.NameExpr{Pos: st.Pos, Name: st.Name}, Index: st.Index}
+			elem := seamless.TFloat
+			if ref.t == seamless.TArrInt {
+				elem = seamless.TInt
+			}
+			cc.tf.ExprTypes[read.Arr] = ref.t
+			cc.tf.ExprTypes[read] = elem
+			combined := &seamless.BinExpr{Pos: st.Pos, Op: st.Op, L: read, R: st.X}
+			rt, err := augType(st.Op, elem, cc.typeOf(st.X))
+			if err != nil {
+				return nil, err
+			}
+			cc.tf.ExprTypes[combined] = rt
+			rhs = combined
+		}
+		if ref.t == seamless.TArrFloat {
+			val, err := cc.floatExpr(rhs)
+			if err != nil {
+				return nil, err
+			}
+			slot := ref.slot
+			return func(fr *frame) flow {
+				fr.af[slot][idx(fr)] = val(fr)
+				return flowNormal
+			}, nil
+		}
+		val, err := cc.intExpr(rhs)
+		if err != nil {
+			return nil, err
+		}
+		slot := ref.slot
+		return func(fr *frame) flow {
+			fr.ai[slot][idx(fr)] = val(fr)
+			return flowNormal
+		}, nil
+	case *seamless.ReturnStmt:
+		if st.X == nil {
+			return func(*frame) flow { return flowReturn }, nil
+		}
+		switch cc.out.Ret {
+		case seamless.TFloat:
+			v, err := cc.floatExpr(st.X)
+			if err != nil {
+				return nil, err
+			}
+			return func(fr *frame) flow { fr.retF = v(fr); return flowReturn }, nil
+		case seamless.TInt:
+			v, err := cc.intExpr(st.X)
+			if err != nil {
+				return nil, err
+			}
+			return func(fr *frame) flow { fr.retI = v(fr); return flowReturn }, nil
+		case seamless.TBool:
+			v, err := cc.boolExpr(st.X)
+			if err != nil {
+				return nil, err
+			}
+			return func(fr *frame) flow { fr.retB = v(fr); return flowReturn }, nil
+		case seamless.TArrFloat:
+			v, err := cc.arrFExpr(st.X)
+			if err != nil {
+				return nil, err
+			}
+			return func(fr *frame) flow { fr.retAF = v(fr); return flowReturn }, nil
+		case seamless.TArrInt:
+			v, err := cc.arrIExpr(st.X)
+			if err != nil {
+				return nil, err
+			}
+			return func(fr *frame) flow { fr.retAI = v(fr); return flowReturn }, nil
+		}
+		return nil, fmt.Errorf("compile: return with value in %v function", cc.out.Ret)
+	case *seamless.ExprStmt:
+		// Evaluate for effect; only calls can have effects.
+		switch cc.typeOf(st.X) {
+		case seamless.TFloat:
+			v, err := cc.floatExpr(st.X)
+			if err != nil {
+				return nil, err
+			}
+			return func(fr *frame) flow { v(fr); return flowNormal }, nil
+		case seamless.TInt:
+			v, err := cc.intExpr(st.X)
+			if err != nil {
+				return nil, err
+			}
+			return func(fr *frame) flow { v(fr); return flowNormal }, nil
+		case seamless.TBool:
+			v, err := cc.boolExpr(st.X)
+			if err != nil {
+				return nil, err
+			}
+			return func(fr *frame) flow { v(fr); return flowNormal }, nil
+		case seamless.TArrFloat:
+			v, err := cc.arrFExpr(st.X)
+			if err != nil {
+				return nil, err
+			}
+			return func(fr *frame) flow { v(fr); return flowNormal }, nil
+		case seamless.TArrInt:
+			v, err := cc.arrIExpr(st.X)
+			if err != nil {
+				return nil, err
+			}
+			return func(fr *frame) flow { v(fr); return flowNormal }, nil
+		default: // TNone: a void call
+			call, ok := st.X.(*seamless.CallExpr)
+			if !ok {
+				return func(*frame) flow { return flowNormal }, nil
+			}
+			run, err := cc.voidCall(call)
+			if err != nil {
+				return nil, err
+			}
+			return func(fr *frame) flow { run(fr); return flowNormal }, nil
+		}
+	case *seamless.PassStmt:
+		return func(*frame) flow { return flowNormal }, nil
+	case *seamless.BreakStmt:
+		return func(*frame) flow { return flowBreak }, nil
+	case *seamless.ContinueStmt:
+		return func(*frame) flow { return flowContinue }, nil
+	case *seamless.IfStmt:
+		cond, err := cc.boolExpr(st.Cond)
+		if err != nil {
+			return nil, err
+		}
+		then, err := cc.block(st.Then)
+		if err != nil {
+			return nil, err
+		}
+		if len(st.Else) == 0 {
+			return func(fr *frame) flow {
+				if cond(fr) {
+					return runBlock(then, fr)
+				}
+				return flowNormal
+			}, nil
+		}
+		els, err := cc.block(st.Else)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) flow {
+			if cond(fr) {
+				return runBlock(then, fr)
+			}
+			return runBlock(els, fr)
+		}, nil
+	case *seamless.WhileStmt:
+		cond, err := cc.boolExpr(st.Cond)
+		if err != nil {
+			return nil, err
+		}
+		body, err := cc.block(st.Body)
+		if err != nil {
+			return nil, err
+		}
+		return func(fr *frame) flow {
+			for cond(fr) {
+				switch runBlock(body, fr) {
+				case flowBreak:
+					return flowNormal
+				case flowReturn:
+					return flowReturn
+				}
+			}
+			return flowNormal
+		}, nil
+	case *seamless.ForStmt:
+		return cc.forStmt(st)
+	}
+	return nil, fmt.Errorf("compile: unknown statement %T", s)
+}
+
+func (cc *fnCompiler) forStmt(st *seamless.ForStmt) (func(*frame) flow, error) {
+	vRef := cc.slot(st.Var)
+	if vRef.t != seamless.TInt {
+		return nil, fmt.Errorf("compile: loop variable %q must be int", st.Var)
+	}
+	var start, stop, step func(*frame) int64
+	var err error
+	if st.Start != nil {
+		if start, err = cc.intExpr(st.Start); err != nil {
+			return nil, err
+		}
+	} else {
+		start = func(*frame) int64 { return 0 }
+	}
+	if stop, err = cc.intExpr(st.Stop); err != nil {
+		return nil, err
+	}
+	if st.Step != nil {
+		if step, err = cc.intExpr(st.Step); err != nil {
+			return nil, err
+		}
+	} else {
+		step = func(*frame) int64 { return 1 }
+	}
+	body, err := cc.block(st.Body)
+	if err != nil {
+		return nil, err
+	}
+	vSlot := vRef.slot
+	return func(fr *frame) flow {
+		lo := start(fr)
+		hi := stop(fr)
+		d := step(fr)
+		if d == 0 {
+			panic("range() step must not be zero")
+		}
+		for v := lo; (d > 0 && v < hi) || (d < 0 && v > hi); v += d {
+			fr.i[vSlot] = v
+			switch runBlock(body, fr) {
+			case flowBreak:
+				return flowNormal
+			case flowReturn:
+				return flowReturn
+			}
+			// The body may have mutated the loop variable (Python allows
+			// it, but range() resets on the next iteration).
+			v = fr.i[vSlot]
+		}
+		return flowNormal
+	}, nil
+}
+
+// store compiles "ref = expr" with int->float coercion.
+func (cc *fnCompiler) store(ref slotRef, x seamless.Expr) (func(*frame) flow, error) {
+	switch ref.t {
+	case seamless.TFloat:
+		v, err := cc.floatExpr(x)
+		if err != nil {
+			return nil, err
+		}
+		slot := ref.slot
+		return func(fr *frame) flow { fr.f[slot] = v(fr); return flowNormal }, nil
+	case seamless.TInt:
+		v, err := cc.intExpr(x)
+		if err != nil {
+			return nil, err
+		}
+		slot := ref.slot
+		return func(fr *frame) flow { fr.i[slot] = v(fr); return flowNormal }, nil
+	case seamless.TBool:
+		v, err := cc.boolExpr(x)
+		if err != nil {
+			return nil, err
+		}
+		slot := ref.slot
+		return func(fr *frame) flow { fr.b[slot] = v(fr); return flowNormal }, nil
+	case seamless.TArrFloat:
+		v, err := cc.arrFExpr(x)
+		if err != nil {
+			return nil, err
+		}
+		slot := ref.slot
+		return func(fr *frame) flow { fr.af[slot] = v(fr); return flowNormal }, nil
+	case seamless.TArrInt:
+		v, err := cc.arrIExpr(x)
+		if err != nil {
+			return nil, err
+		}
+		slot := ref.slot
+		return func(fr *frame) flow { fr.ai[slot] = v(fr); return flowNormal }, nil
+	}
+	return nil, fmt.Errorf("compile: cannot store into %v", ref.t)
+}
+
+func augType(op string, l, r seamless.Type) (seamless.Type, error) {
+	if op == "/" {
+		return seamless.TFloat, nil
+	}
+	if l == seamless.TInt && r == seamless.TInt {
+		return seamless.TInt, nil
+	}
+	if l.IsNumeric() && r.IsNumeric() {
+		return seamless.TFloat, nil
+	}
+	return seamless.TUnknown, fmt.Errorf("compile: %q needs numeric operands", op)
+}

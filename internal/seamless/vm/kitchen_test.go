@@ -1,0 +1,80 @@
+package vm
+
+import (
+	"testing"
+
+	"odinhpc/internal/seamless"
+)
+
+// TestVMKitchenSink exercises the interpreter paths the standard tests
+// leave cold: bool parameters and comparisons, chained comparisons,
+// short-circuit keep-jumps, float floor/mod, integer arrays, augmented
+// index assignment, and nested while/pass.
+func TestVMKitchenSink(t *testing.T) {
+	src := `
+def boolsoup(flag, x):
+    ok = flag and not (x < 0.0)
+    bad = flag == False or x != x
+    if ok and not bad:
+        return 1
+    return 0
+
+def chain(a, b, c):
+    if a < b < c:
+        return 1
+    return 0
+
+def ffloor(a, b):
+    return a // b + a % b
+
+def iarr(n):
+    h = izeros(n)
+    for i in range(n):
+        h[i] = i
+    h[0] += 10
+    h[1] *= 5
+    t = 0
+    for i in range(len(h)):
+        t += h[i]
+    return t
+
+def spin(n):
+    i = 0
+    while i < n:
+        i += 1
+        pass
+    return i
+`
+	e := engine(t, src)
+	cases := []struct {
+		name string
+		args []seamless.Value
+		want int64
+	}{
+		{"boolsoup", []seamless.Value{seamless.BoolV(true), seamless.FloatV(1)}, 1},
+		{"boolsoup", []seamless.Value{seamless.BoolV(true), seamless.FloatV(-1)}, 0},
+		{"boolsoup", []seamless.Value{seamless.BoolV(false), seamless.FloatV(1)}, 0},
+		{"chain", []seamless.Value{seamless.IntV(1), seamless.IntV(2), seamless.IntV(3)}, 1},
+		{"chain", []seamless.Value{seamless.IntV(1), seamless.IntV(3), seamless.IntV(2)}, 0},
+		// iarr(4): [10,5,2,3] -> 20.
+		{"iarr", []seamless.Value{seamless.IntV(4)}, 20},
+		{"spin", []seamless.Value{seamless.IntV(9)}, 9},
+	}
+	for _, tc := range cases {
+		out, err := e.Call(tc.name, tc.args...)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if out.I != tc.want {
+			t.Fatalf("%s%v = %d want %d", tc.name, tc.args, out.I, tc.want)
+		}
+	}
+	// Float floor-div + Python modulo: -7.5//2 = -4, -7.5%2 = 0.5 -> -3.5.
+	out, err := e.Call("ffloor", seamless.FloatV(-7.5), seamless.FloatV(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.F != -3.5 {
+		t.Fatalf("ffloor = %v", out.F)
+	}
+}

@@ -1,0 +1,336 @@
+package vm
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"odinhpc/internal/seamless"
+)
+
+func engine(t *testing.T, src string) *Engine {
+	t.Helper()
+	prog, err := seamless.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(prog)
+}
+
+func TestSumKernel(t *testing.T) {
+	// The paper's §IV.A decorated sum example, verbatim logic.
+	src := `
+def sum(it):
+    res = 0.0
+    for i in range(len(it)):
+        res += it[i]
+    return res
+`
+	e := engine(t, src)
+	out, err := e.Call("sum", seamless.ArrFV([]float64{1, 2, 3.5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.F != 6.5 {
+		t.Fatalf("sum = %v", out)
+	}
+}
+
+func TestArithmeticSemantics(t *testing.T) {
+	src := `
+def f(a, b):
+    return a / b
+
+def fd(a, b):
+    return a // b
+
+def md(a, b):
+    return a % b
+
+def pw(a, b):
+    return a ** b
+`
+	e := engine(t, src)
+	call := func(name string, a, b seamless.Value) seamless.Value {
+		out, err := e.Call(name, a, b)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return out
+	}
+	// True division of ints yields float.
+	if v := call("f", seamless.IntV(7), seamless.IntV(2)); v.K != seamless.TFloat || v.F != 3.5 {
+		t.Fatalf("7/2 = %v", v)
+	}
+	// Floor division follows Python (toward -inf).
+	if v := call("fd", seamless.IntV(-7), seamless.IntV(2)); v.I != -4 {
+		t.Fatalf("-7//2 = %v", v)
+	}
+	if v := call("fd", seamless.FloatV(-7), seamless.FloatV(2)); v.F != -3.5-0.5 {
+		t.Fatalf("-7.0//2.0 = %v", v)
+	}
+	// Modulo takes the divisor's sign.
+	if v := call("md", seamless.IntV(-7), seamless.IntV(3)); v.I != 2 {
+		t.Fatalf("-7%%3 = %v", v)
+	}
+	if v := call("md", seamless.FloatV(-7), seamless.FloatV(3)); v.F != 2 {
+		t.Fatalf("-7.0%%3.0 = %v", v)
+	}
+	// Integer power stays integer.
+	if v := call("pw", seamless.IntV(2), seamless.IntV(10)); v.K != seamless.TInt || v.I != 1024 {
+		t.Fatalf("2**10 = %v", v)
+	}
+	if v := call("pw", seamless.FloatV(2), seamless.IntV(-1)); v.F != 0.5 {
+		t.Fatalf("2.0**-1 = %v", v)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	src := `
+def collatz(n) -> int:
+    steps = 0
+    while n != 1:
+        if n % 2 == 0:
+            n = n // 2
+        else:
+            n = 3 * n + 1
+        steps += 1
+    return steps
+
+def loops(n):
+    total = 0
+    for i in range(n):
+        if i == 2:
+            continue
+        if i == 7:
+            break
+        total += i
+    return total
+
+def down(n):
+    total = 0
+    for i in range(n, 0, -1):
+        total += i
+    return total
+`
+	e := engine(t, src)
+	out, err := e.Call("collatz", seamless.IntV(27))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.I != 111 {
+		t.Fatalf("collatz(27) = %v", out)
+	}
+	out, _ = e.Call("loops", seamless.IntV(100))
+	if out.I != 0+1+3+4+5+6 {
+		t.Fatalf("loops = %v", out)
+	}
+	out, _ = e.Call("down", seamless.IntV(4))
+	if out.I != 10 {
+		t.Fatalf("down = %v", out)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// Division by zero on the right of "and" must not run when the left
+	// side is false.
+	src := `
+def f(x):
+    if x > 0 and 1.0 / x > 0.5:
+        return 1
+    return 0
+
+def g(x):
+    if x == 0 or 1.0 / x > 0.0:
+        return 1
+    return 0
+`
+	e := engine(t, src)
+	if out, err := e.Call("f", seamless.FloatV(0)); err != nil || out.I != 0 {
+		t.Fatalf("and: %v %v", out, err)
+	}
+	if out, err := e.Call("f", seamless.FloatV(1)); err != nil || out.I != 1 {
+		t.Fatalf("and true: %v %v", out, err)
+	}
+	if out, err := e.Call("g", seamless.FloatV(0)); err != nil || out.I != 1 {
+		t.Fatalf("or: %v %v", out, err)
+	}
+}
+
+func TestRecursionAndCalls(t *testing.T) {
+	src := `
+def fib(n) -> int:
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+
+def square(x):
+    return x * x
+
+def sumsq(a, b):
+    return square(a) + square(b)
+`
+	e := engine(t, src)
+	out, err := e.Call("fib", seamless.IntV(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.I != 610 {
+		t.Fatalf("fib(15) = %v", out)
+	}
+	out, _ = e.Call("sumsq", seamless.FloatV(3), seamless.FloatV(4))
+	if out.F != 25 {
+		t.Fatalf("sumsq = %v", out)
+	}
+}
+
+func TestArrayMutationAndAllocation(t *testing.T) {
+	src := `
+def scale(xs, alpha):
+    out = zeros(len(xs))
+    for i in range(len(xs)):
+        out[i] = xs[i] * alpha
+    return out
+
+def bump(xs):
+    for i in range(len(xs)):
+        xs[i] += 1.0
+    return 0
+
+def counts(n):
+    c = izeros(n)
+    for i in range(n):
+        c[i] = i * i
+    return c
+`
+	e := engine(t, src)
+	out, err := e.Call("scale", seamless.ArrFV([]float64{1, 2, 3}), seamless.FloatV(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.AF[2] != 30 {
+		t.Fatalf("scale = %v", out.AF)
+	}
+	// In-place mutation is visible to the caller (arrays are references).
+	buf := []float64{5, 5}
+	if _, err := e.Call("bump", seamless.ArrFV(buf)); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 6 || buf[1] != 6 {
+		t.Fatalf("bump did not mutate: %v", buf)
+	}
+	out, _ = e.Call("counts", seamless.IntV(4))
+	if out.AI[3] != 9 {
+		t.Fatalf("counts = %v", out.AI)
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	src := `
+def f(x):
+    return sqrt(x) + sin(0.0) + cos(0.0) + exp(0.0) + log(1.0) + abs(-x) + min(x, 100.0) + max(x, -1.0) + float(int(x))
+`
+	e := engine(t, src)
+	out, err := e.Call("f", seamless.FloatV(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2.0 + 0 + 1 + 1 + 0 + 4 + 4 + 4 + 4
+	if math.Abs(out.F-want) > 1e-12 {
+		t.Fatalf("builtins = %v want %v", out.F, want)
+	}
+}
+
+func TestExternCallVM(t *testing.T) {
+	prog, err := seamless.CompileSource("def f(y, x):\n    return myatan2(y, x)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog.Bind("myatan2", seamless.Extern{NArgs: 2, Fn: func(a ...float64) float64 { return math.Atan2(a[0], a[1]) }})
+	e := NewEngine(prog)
+	out, err := e.Call("f", seamless.FloatV(1), seamless.FloatV(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.F-math.Atan2(1, 2)) > 1e-15 {
+		t.Fatalf("extern = %v", out.F)
+	}
+}
+
+func TestRuntimeFaults(t *testing.T) {
+	src := `
+def oob(xs):
+    return xs[100]
+
+def divz(a, b):
+    return a // b
+`
+	e := engine(t, src)
+	if _, err := e.Call("oob", seamless.ArrFV([]float64{1})); err == nil {
+		t.Fatal("out of bounds accepted")
+	}
+	if _, err := e.Call("divz", seamless.IntV(1), seamless.IntV(0)); err == nil {
+		t.Fatal("int division by zero accepted")
+	}
+}
+
+func TestVoidFunction(t *testing.T) {
+	src := `
+def fill(xs, v):
+    for i in range(len(xs)):
+        xs[i] = v
+
+def main(xs):
+    fill(xs, 7.0)
+    return xs[0]
+`
+	e := engine(t, src)
+	out, err := e.Call("main", seamless.ArrFV(make([]float64, 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.F != 7 {
+		t.Fatalf("void call: %v", out)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	src := "def f(x):\n    return x + 1.5\n"
+	prog, _ := seamless.CompileSource(src)
+	e := NewEngine(prog)
+	tf, err := prog.Specialize("f", []seamless.Type{seamless.TFloat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := e.ProcFor(tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := p.Disassemble()
+	for _, want := range []string{"proc f", "load", "constf", "add", "ret"} {
+		if !strings.Contains(dis, want) {
+			t.Fatalf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}
+
+func TestArgumentCountChecked(t *testing.T) {
+	e := engine(t, "def f(a, b):\n    return a\n")
+	if _, err := e.Call("f", seamless.IntV(1)); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+}
+
+func TestBreakContinueOutsideLoop(t *testing.T) {
+	e := engine(t, "def f():\n    break\n")
+	if _, err := e.Call("f"); err == nil {
+		t.Fatal("break outside loop accepted")
+	}
+}
+
+func TestPowNegativeIntFaults(t *testing.T) {
+	e := engine(t, "def f(a, b):\n    return a ** b\n")
+	if _, err := e.Call("f", seamless.IntV(2), seamless.IntV(-3)); err == nil {
+		t.Fatal("negative int exponent accepted")
+	}
+}

@@ -1,0 +1,253 @@
+package solvers
+
+import (
+	"math"
+
+	"odinhpc/internal/tpetra"
+)
+
+// GMRES solves A x = b for general A using right-preconditioned restarted
+// GMRES(m). The Arnoldi basis is orthogonalized with modified Gram-Schmidt
+// and the Hessenberg least-squares problem is updated with Givens rotations,
+// so the residual norm is available at every inner step without forming x.
+// Collective.
+func GMRES(a tpetra.Operator, b, x *tpetra.Vector, restart int, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	if restart <= 0 {
+		restart = 30
+	}
+	res := Result{}
+	c := b.Comm()
+	mp := a.Map()
+
+	bnorm := b.Norm2()
+	if bnorm == 0 {
+		bnorm = 1
+	}
+
+	r := tpetra.NewVector(c, mp)
+	w := tpetra.NewVector(c, mp)
+	z := tpetra.NewVector(c, mp)
+
+	record := func(rel float64) {
+		if opt.RecordHistory {
+			res.History = append(res.History, rel)
+		}
+	}
+
+	totalIters := 0
+	for totalIters < opt.MaxIter {
+		// Outer (restart) loop: compute true residual.
+		a.Apply(x, r)
+		r.Update(1, b, -1)
+		beta := r.Norm2()
+		rel := beta / bnorm
+		if totalIters == 0 {
+			record(rel)
+		}
+		if rel <= opt.Tol {
+			res.Converged = true
+			res.Residual = rel
+			return res, nil
+		}
+
+		// Arnoldi basis and Hessenberg factors.
+		v := make([]*tpetra.Vector, 0, restart+1)
+		v0 := r.Clone()
+		v0.Scale(1 / beta)
+		v = append(v, v0)
+		h := make([][]float64, restart+1) // h[i][j], i row, j column
+		for i := range h {
+			h[i] = make([]float64, restart)
+		}
+		cs := make([]float64, restart)
+		sn := make([]float64, restart)
+		g := make([]float64, restart+1)
+		g[0] = beta
+
+		inner := 0
+		for j := 0; j < restart && totalIters < opt.MaxIter; j++ {
+			// w = A M^{-1} v_j  (right preconditioning).
+			applyPrec(opt.Precond, v[j], z)
+			a.Apply(z, w)
+			// Modified Gram-Schmidt.
+			for i := 0; i <= j; i++ {
+				h[i][j] = w.Dot(v[i])
+				w.Axpy(-h[i][j], v[i])
+			}
+			h[j+1][j] = w.Norm2()
+			if nonFinite(h[j+1][j]) {
+				res.Residual = rel
+				return res, ErrBreakdown
+			}
+			happy := h[j+1][j] == 0 // lucky breakdown: Krylov space exhausted
+			if !happy {
+				vj1 := w.Clone()
+				vj1.Scale(1 / h[j+1][j])
+				v = append(v, vj1)
+			}
+			// Apply previous Givens rotations to the new column.
+			for i := 0; i < j; i++ {
+				t := cs[i]*h[i][j] + sn[i]*h[i+1][j]
+				h[i+1][j] = -sn[i]*h[i][j] + cs[i]*h[i+1][j]
+				h[i][j] = t
+			}
+			// New rotation annihilating h[j+1][j].
+			denom := math.Hypot(h[j][j], h[j+1][j])
+			if denom == 0 {
+				res.Residual = rel
+				return res, ErrBreakdown
+			}
+			cs[j] = h[j][j] / denom
+			sn[j] = h[j+1][j] / denom
+			h[j][j] = denom
+			h[j+1][j] = 0
+			g[j+1] = -sn[j] * g[j]
+			g[j] = cs[j] * g[j]
+
+			totalIters++
+			res.Iterations = totalIters
+			inner = j + 1
+			rel = math.Abs(g[j+1]) / bnorm
+			record(rel)
+			if rel <= opt.Tol || happy {
+				break
+			}
+		}
+
+		// Back-substitute y from the triangularized system and update x:
+		// x += M^{-1} (V y).
+		y := make([]float64, inner)
+		for i := inner - 1; i >= 0; i-- {
+			s := g[i]
+			for k := i + 1; k < inner; k++ {
+				s -= h[i][k] * y[k]
+			}
+			y[i] = s / h[i][i]
+		}
+		update := tpetra.NewVector(c, mp)
+		for i := 0; i < inner; i++ {
+			update.Axpy(y[i], v[i])
+		}
+		applyPrec(opt.Precond, update, z)
+		x.Axpy(1, z)
+
+		if rel <= opt.Tol {
+			// Confirm with the true residual (right preconditioning keeps
+			// them equal up to round-off).
+			a.Apply(x, r)
+			r.Update(1, b, -1)
+			res.Residual = r.Norm2() / bnorm
+			res.Converged = res.Residual <= opt.Tol*10
+			return res, nil
+		}
+	}
+	a.Apply(x, r)
+	r.Update(1, b, -1)
+	res.Residual = r.Norm2() / bnorm
+	res.Converged = res.Residual <= opt.Tol
+	return res, nil
+}
+
+// MINRES solves A x = b for symmetric (possibly indefinite) A using the
+// minimum-residual method of Paige and Saunders. Unpreconditioned; use
+// GMRES for preconditioned indefinite systems. Collective.
+func MINRES(a tpetra.Operator, b, x *tpetra.Vector, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	res := Result{}
+	c := b.Comm()
+	mp := a.Map()
+
+	bnorm := b.Norm2()
+	if bnorm == 0 {
+		bnorm = 1
+	}
+
+	// Lanczos vectors.
+	r := tpetra.NewVector(c, mp)
+	a.Apply(x, r)
+	r.Update(1, b, -1)
+	beta := r.Norm2()
+	rel := beta / bnorm
+	if opt.RecordHistory {
+		res.History = append(res.History, rel)
+	}
+	if rel <= opt.Tol {
+		res.Converged = true
+		res.Residual = rel
+		return res, nil
+	}
+
+	vPrev := tpetra.NewVector(c, mp) // v_{k-1}
+	v := r.Clone()                   // v_k
+	v.Scale(1 / beta)
+	av := tpetra.NewVector(c, mp)
+
+	// Update directions.
+	wPrev2 := tpetra.NewVector(c, mp)
+	wPrev1 := tpetra.NewVector(c, mp)
+	w := tpetra.NewVector(c, mp)
+
+	// Givens state.
+	gammaPrev, gamma := 1.0, 1.0 // c_{k-1}, c_k
+	sigmaPrev, sigma := 0.0, 0.0 // s_{k-1}, s_k
+	eta := beta
+	betaK := beta
+
+	for k := 1; k <= opt.MaxIter; k++ {
+		// Lanczos step.
+		a.Apply(v, av)
+		alpha := v.Dot(av)
+		av.Axpy(-alpha, v)
+		av.Axpy(-betaK, vPrev)
+		betaNext := av.Norm2()
+
+		// Two previous rotations applied to the new tridiagonal column.
+		delta := gamma*alpha - gammaPrev*sigma*betaK
+		rho1 := math.Hypot(delta, betaNext)
+		rho2 := sigma*alpha + gammaPrev*gamma*betaK
+		rho3 := sigmaPrev * betaK
+		if rho1 == 0 || nonFinite(rho1) {
+			res.Residual = rel
+			return res, ErrBreakdown
+		}
+		gammaNext := delta / rho1
+		sigmaNext := betaNext / rho1
+
+		// Direction update: w = (v - rho3 w_{k-2} - rho2 w_{k-1}) / rho1.
+		w.CopyFrom(v)
+		w.Axpy(-rho3, wPrev2)
+		w.Axpy(-rho2, wPrev1)
+		w.Scale(1 / rho1)
+		x.Axpy(gammaNext*eta, w)
+
+		rel = rel * math.Abs(sigmaNext)
+		eta = -sigmaNext * eta
+		res.Iterations = k
+		if opt.RecordHistory {
+			res.History = append(res.History, rel)
+		}
+		if rel <= opt.Tol {
+			break
+		}
+		if betaNext == 0 {
+			break // invariant subspace found; solution is exact
+		}
+
+		// Shift state.
+		vPrev.CopyFrom(v)
+		v.CopyFrom(av)
+		v.Scale(1 / betaNext)
+		wPrev2.CopyFrom(wPrev1)
+		wPrev1.CopyFrom(w)
+		gammaPrev, gamma = gamma, gammaNext
+		sigmaPrev, sigma = sigma, sigmaNext
+		betaK = betaNext
+	}
+	// Report the true residual.
+	a.Apply(x, r)
+	r.Update(1, b, -1)
+	res.Residual = r.Norm2() / bnorm
+	res.Converged = res.Residual <= opt.Tol*10
+	return res, nil
+}

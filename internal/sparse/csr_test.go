@@ -1,0 +1,345 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// tridiag builds the n x n [-1 2 -1] Laplacian used throughout.
+func tridiag(n int) *CSR {
+	c := NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		c.Add(i, i, 2)
+		if i > 0 {
+			c.Add(i, i-1, -1)
+		}
+		if i < n-1 {
+			c.Add(i, i+1, -1)
+		}
+	}
+	return c.ToCSR()
+}
+
+func randomSPD(n int, seed int64) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	c := NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		c.Add(i, i, float64(n)+rng.Float64())
+		for k := 0; k < 3; k++ {
+			j := rng.Intn(n)
+			if j != i {
+				v := rng.Float64() - 0.5
+				c.Add(i, j, v)
+				c.Add(j, i, v)
+			}
+		}
+	}
+	return c.ToCSR()
+}
+
+func TestCOOToCSRBasic(t *testing.T) {
+	c := NewCOO(3, 3)
+	c.Add(2, 0, 5)
+	c.Add(0, 1, 2)
+	c.Add(0, 0, 1)
+	c.Add(1, 2, 3)
+	m := c.ToCSR()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 0) != 1 || m.At(0, 1) != 2 || m.At(1, 2) != 3 || m.At(2, 0) != 5 {
+		t.Fatalf("content wrong: %v", m.Dense())
+	}
+	if m.At(2, 2) != 0 {
+		t.Fatal("missing entry must read as zero")
+	}
+	if m.NNZ() != 4 {
+		t.Fatalf("NNZ = %d", m.NNZ())
+	}
+}
+
+func TestCOODuplicatesSummed(t *testing.T) {
+	c := NewCOO(2, 2)
+	c.Add(0, 0, 1)
+	c.Add(0, 0, 2.5)
+	c.Add(1, 1, -1)
+	m := c.ToCSR()
+	if m.At(0, 0) != 3.5 {
+		t.Fatalf("duplicate sum = %v", m.At(0, 0))
+	}
+	if m.NNZ() != 2 {
+		t.Fatalf("NNZ = %d", m.NNZ())
+	}
+	if c.NNZ() != 3 {
+		t.Fatalf("COO.NNZ = %d", c.NNZ())
+	}
+}
+
+func TestCOOEmptyRows(t *testing.T) {
+	c := NewCOO(5, 5)
+	c.Add(0, 0, 1)
+	c.Add(4, 4, 2)
+	m := c.ToCSR()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for r := 1; r < 4; r++ {
+		if m.RowNNZ(r) != 0 {
+			t.Fatalf("row %d should be empty", r)
+		}
+	}
+}
+
+func TestCOOBounds(t *testing.T) {
+	c := NewCOO(2, 2)
+	for name, fn := range map[string]func(){
+		"neg-row": func() { c.Add(-1, 0, 1) },
+		"big-col": func() { c.Add(0, 2, 1) },
+		"neg-dim": func() { NewCOO(-1, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	m := tridiag(4)
+	bad := m.Clone()
+	bad.ColIdx[1], bad.ColIdx[0] = bad.ColIdx[0], bad.ColIdx[1] // unsorted row
+	if bad.Validate() == nil {
+		t.Fatal("unsorted columns must fail validation")
+	}
+	bad2 := m.Clone()
+	bad2.RowPtr[2] = 100
+	if bad2.Validate() == nil {
+		t.Fatal("bad RowPtr must fail validation")
+	}
+	if _, err := NewCSR(2, 2, []int{0}, nil, nil); err == nil {
+		t.Fatal("short RowPtr must fail")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := tridiag(4)
+	x := []float64{1, 2, 3, 4}
+	y := make([]float64, 4)
+	m.MulVec(x, y)
+	want := []float64{0, 0, 0, 5} // 2*1-2, -1+4-3, -2+6-4, -3+8
+	if !reflect.DeepEqual(y, want) {
+		t.Fatalf("MulVec = %v want %v", y, want)
+	}
+}
+
+func TestMulVecAdd(t *testing.T) {
+	m := Identity(3)
+	x := []float64{1, 2, 3}
+	y := []float64{10, 10, 10}
+	m.MulVecAdd(2, x, y)
+	if !reflect.DeepEqual(y, []float64{12, 14, 16}) {
+		t.Fatalf("MulVecAdd = %v", y)
+	}
+}
+
+func TestMulVecTransMatchesTranspose(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(10), 1+rng.Intn(10)
+		c := NewCOO(rows, cols)
+		for k := 0; k < rows*2; k++ {
+			c.Add(rng.Intn(rows), rng.Intn(cols), rng.NormFloat64())
+		}
+		m := c.ToCSR()
+		x := make([]float64, rows)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y1 := make([]float64, cols)
+		m.MulVecTrans(x, y1)
+		y2 := make([]float64, cols)
+		m.Transpose().MulVec(x, y2)
+		for i := range y1 {
+			if math.Abs(y1[i]-y2[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	m := randomSPD(20, 7)
+	tt := m.Transpose().Transpose()
+	if !m.Equal(tt) {
+		t.Fatal("transpose involution failed")
+	}
+	if err := m.Transpose().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiag(t *testing.T) {
+	m := tridiag(5)
+	d := m.Diag()
+	for _, v := range d {
+		if v != 2 {
+			t.Fatalf("diag = %v", d)
+		}
+	}
+}
+
+func TestScaleAdd(t *testing.T) {
+	a := tridiag(4)
+	b := a.Clone()
+	b.Scale(-1)
+	sum := a.Add(b)
+	for _, v := range sum.Val {
+		if v != 0 {
+			t.Fatalf("A + (-A) nonzero: %v", sum.Dense())
+		}
+	}
+	i := Identity(4)
+	ap := a.Add(i)
+	if ap.At(0, 0) != 3 {
+		t.Fatal("Add identity")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Add shape mismatch should panic")
+			}
+		}()
+		a.Add(Identity(5))
+	}()
+}
+
+func TestMatMulAgainstDense(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
+		ca, cb := NewCOO(m, k), NewCOO(k, n)
+		for t := 0; t < m*k/2+1; t++ {
+			ca.Add(rng.Intn(m), rng.Intn(k), float64(rng.Intn(5)))
+		}
+		for t := 0; t < k*n/2+1; t++ {
+			cb.Add(rng.Intn(k), rng.Intn(n), float64(rng.Intn(5)))
+		}
+		a, b := ca.ToCSR(), cb.ToCSR()
+		c := a.MatMul(b)
+		if c.Validate() != nil {
+			return false
+		}
+		ad, bd, cd := a.Dense(), b.Dense(), c.Dense()
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				var want float64
+				for p := 0; p < k; p++ {
+					want += ad[i*k+p] * bd[p*n+j]
+				}
+				if math.Abs(cd[i*n+j]-want) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	c := NewCOO(2, 2)
+	c.Add(0, 0, 3)
+	c.Add(1, 1, -4)
+	m := c.ToCSR()
+	if m.NormFrobenius() != 5 {
+		t.Fatalf("fro = %v", m.NormFrobenius())
+	}
+	if m.NormInf() != 4 {
+		t.Fatalf("inf = %v", m.NormInf())
+	}
+}
+
+func TestSubMatrix(t *testing.T) {
+	m := tridiag(6)
+	s := m.SubMatrix([]int{1, 2, 3})
+	// Principal 3x3 block of the tridiagonal is itself tridiagonal.
+	want := tridiag(3)
+	if !s.Equal(want) {
+		t.Fatalf("SubMatrix = %v want %v", s.Dense(), want.Dense())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unsorted keep should panic")
+			}
+		}()
+		m.SubMatrix([]int{2, 1})
+	}()
+}
+
+func TestIdentity(t *testing.T) {
+	i := Identity(4)
+	if err := i.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{1, 2, 3, 4}
+	y := make([]float64, 4)
+	i.MulVec(x, y)
+	if !reflect.DeepEqual(x, y) {
+		t.Fatal("identity MulVec")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := tridiag(3)
+	b := a.Clone()
+	b.Val[0] = 99
+	if a.Val[0] == 99 {
+		t.Fatal("Clone aliases")
+	}
+	if a.String() == "" {
+		t.Fatal("String")
+	}
+}
+
+func TestAtBounds(t *testing.T) {
+	m := tridiag(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.At(3, 0)
+}
+
+func TestMulVecDimsPanic(t *testing.T) {
+	m := tridiag(3)
+	for name, fn := range map[string]func(){
+		"mulvec":      func() { m.MulVec(make([]float64, 2), make([]float64, 3)) },
+		"mulvecadd":   func() { m.MulVecAdd(1, make([]float64, 3), make([]float64, 2)) },
+		"mulvectrans": func() { m.MulVecTrans(make([]float64, 2), make([]float64, 3)) },
+		"matmul":      func() { m.MatMul(Identity(4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

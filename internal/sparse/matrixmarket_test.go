@@ -1,0 +1,104 @@
+package sparse
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols := 1+rng.Intn(12), 1+rng.Intn(12)
+		coo := NewCOO(rows, cols)
+		for k := 0; k < rng.Intn(30); k++ {
+			coo.Add(rng.Intn(rows), rng.Intn(cols), rng.NormFloat64())
+		}
+		m := coo.ToCSR()
+		var b strings.Builder
+		if err := m.WriteMatrixMarket(&b); err != nil {
+			return false
+		}
+		back, err := ReadMatrixMarket(strings.NewReader(b.String()))
+		if err != nil {
+			return false
+		}
+		return m.Equal(back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixMarketSymmetricAndPattern(t *testing.T) {
+	sym := `%%MatrixMarket matrix coordinate real symmetric
+% a comment
+3 3 4
+1 1 2.0
+2 1 -1.0
+2 2 2.0
+3 2 -1.0
+`
+	m, err := ReadMatrixMarket(strings.NewReader(sym))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mirrored entries.
+	if m.At(0, 1) != -1 || m.At(1, 0) != -1 || m.At(1, 2) != -1 || m.At(2, 1) != -1 {
+		t.Fatalf("symmetric mirror: %v", m.Dense())
+	}
+	// Two diagonal entries plus four mirrored off-diagonals.
+	if m.NNZ() != 6 {
+		t.Fatalf("nnz=%d", m.NNZ())
+	}
+
+	pat := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+`
+	p, err := ReadMatrixMarket(strings.NewReader(pat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.At(0, 1) != 1 || p.At(1, 0) != 1 {
+		t.Fatalf("pattern values: %v", p.Dense())
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	for name, doc := range map[string]string{
+		"empty":       "",
+		"bad-header":  "%%MatrixMarket tensor dense real general\n1 1 1\n1 1 1\n",
+		"bad-type":    "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+		"bad-struct":  "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1\n",
+		"short-entry": "%%MatrixMarket matrix coordinate real general\n2 2 1\n1\n",
+		"oob-entry":   "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n",
+		"truncated":   "%%MatrixMarket matrix coordinate real general\n2 2 3\n1 1 1.0\n",
+		"bad-value":   "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 xyz\n",
+	} {
+		if _, err := ReadMatrixMarket(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestMatrixMarketLaplacian(t *testing.T) {
+	// Write the tridiagonal and read it back through the public API.
+	m := tridiag(6)
+	var b strings.Builder
+	if err := m.WriteMatrixMarket(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "%%MatrixMarket matrix coordinate real general") {
+		t.Fatal("header missing")
+	}
+	back, err := ReadMatrixMarket(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(back) {
+		t.Fatal("round trip")
+	}
+}

@@ -1,0 +1,261 @@
+// Package teuchos provides the general tools layer of the Trilinos analog.
+// Its centerpiece is ParameterList, the hierarchical, typed parameter
+// container that Trilinos packages use to configure solvers and
+// preconditioners (paper Table I: "Teuchos — general tools (parameter
+// lists, ...)").
+package teuchos
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ParameterList is a hierarchical map of named, typed parameters. It tracks
+// which parameters have been read so callers can detect misspelled or
+// unused options, mirroring Teuchos::ParameterList::unused(). It is safe
+// for concurrent use.
+type ParameterList struct {
+	mu     sync.Mutex
+	name   string
+	values map[string]any
+	used   map[string]bool
+	subs   map[string]*ParameterList
+}
+
+// NewParameterList returns an empty list with the given display name.
+func NewParameterList(name string) *ParameterList {
+	return &ParameterList{
+		name:   name,
+		values: make(map[string]any),
+		used:   make(map[string]bool),
+		subs:   make(map[string]*ParameterList),
+	}
+}
+
+// Name returns the list's display name.
+func (p *ParameterList) Name() string { return p.name }
+
+// Set stores a parameter value, replacing any previous value of any type.
+func (p *ParameterList) Set(key string, value any) *ParameterList {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.values[key] = value
+	return p
+}
+
+// Has reports whether the parameter exists (without marking it used).
+func (p *ParameterList) Has(key string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.values[key]
+	return ok
+}
+
+// Get returns the raw value and whether it exists, marking it used.
+func (p *ParameterList) Get(key string) (any, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	v, ok := p.values[key]
+	if ok {
+		p.used[key] = true
+	}
+	return v, ok
+}
+
+// GetInt returns an integer parameter or def if absent. Stored float64
+// values that are integral are accepted, since numeric literals often
+// arrive as floats.
+func (p *ParameterList) GetInt(key string, def int) int {
+	v, ok := p.Get(key)
+	if !ok {
+		return def
+	}
+	switch x := v.(type) {
+	case int:
+		return x
+	case int64:
+		return int(x)
+	case float64:
+		if x == float64(int(x)) {
+			return int(x)
+		}
+	}
+	panic(fmt.Sprintf("teuchos: parameter %q is %T, want int", key, v))
+}
+
+// GetFloat returns a float parameter or def if absent; ints are widened.
+func (p *ParameterList) GetFloat(key string, def float64) float64 {
+	v, ok := p.Get(key)
+	if !ok {
+		return def
+	}
+	switch x := v.(type) {
+	case float64:
+		return x
+	case int:
+		return float64(x)
+	case int64:
+		return float64(x)
+	}
+	panic(fmt.Sprintf("teuchos: parameter %q is %T, want float64", key, v))
+}
+
+// GetString returns a string parameter or def if absent.
+func (p *ParameterList) GetString(key, def string) string {
+	v, ok := p.Get(key)
+	if !ok {
+		return def
+	}
+	if s, ok := v.(string); ok {
+		return s
+	}
+	panic(fmt.Sprintf("teuchos: parameter %q is %T, want string", key, v))
+}
+
+// GetBool returns a boolean parameter or def if absent.
+func (p *ParameterList) GetBool(key string, def bool) bool {
+	v, ok := p.Get(key)
+	if !ok {
+		return def
+	}
+	if b, ok := v.(bool); ok {
+		return b
+	}
+	panic(fmt.Sprintf("teuchos: parameter %q is %T, want bool", key, v))
+}
+
+// Sublist returns the named sub-list, creating it if needed.
+func (p *ParameterList) Sublist(name string) *ParameterList {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if s, ok := p.subs[name]; ok {
+		return s
+	}
+	s := NewParameterList(name)
+	p.subs[name] = s
+	return s
+}
+
+// HasSublist reports whether the named sub-list exists.
+func (p *ParameterList) HasSublist(name string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_, ok := p.subs[name]
+	return ok
+}
+
+// Keys returns the sorted parameter names in this list (not sub-lists).
+func (p *ParameterList) Keys() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.values))
+	for k := range p.values {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Unused returns the sorted names of parameters that were set but never
+// read — the classic guard against silently ignored, misspelled options.
+func (p *ParameterList) Unused() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []string
+	for k := range p.values {
+		if !p.used[k] {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate checks every parameter against an allowed-key table mapping
+// names to example values of the required type; unknown names or type
+// mismatches are errors. Sub-lists are validated against nested tables
+// registered under their name in subTables.
+func (p *ParameterList) Validate(allowed map[string]any, subTables map[string]map[string]any) error {
+	p.mu.Lock()
+	values := make(map[string]any, len(p.values))
+	for k, v := range p.values {
+		values[k] = v
+	}
+	subs := make(map[string]*ParameterList, len(p.subs))
+	for k, v := range p.subs {
+		subs[k] = v
+	}
+	p.mu.Unlock()
+
+	for k, v := range values {
+		ex, ok := allowed[k]
+		if !ok {
+			return fmt.Errorf("teuchos: unknown parameter %q in list %q", k, p.name)
+		}
+		if fmt.Sprintf("%T", v) != fmt.Sprintf("%T", ex) {
+			return fmt.Errorf("teuchos: parameter %q in list %q is %T, want %T", k, p.name, v, ex)
+		}
+	}
+	for name, sub := range subs {
+		table, ok := subTables[name]
+		if !ok {
+			return fmt.Errorf("teuchos: unknown sublist %q in list %q", name, p.name)
+		}
+		if err := sub.Validate(table, subTables); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Merge copies every parameter and sub-list of other into p, overwriting
+// collisions.
+func (p *ParameterList) Merge(other *ParameterList) {
+	other.mu.Lock()
+	values := make(map[string]any, len(other.values))
+	for k, v := range other.values {
+		values[k] = v
+	}
+	subNames := make([]string, 0, len(other.subs))
+	for k := range other.subs {
+		subNames = append(subNames, k)
+	}
+	other.mu.Unlock()
+
+	for k, v := range values {
+		p.Set(k, v)
+	}
+	for _, name := range subNames {
+		p.Sublist(name).Merge(other.Sublist(name))
+	}
+}
+
+// String renders the list and its sub-lists with indentation.
+func (p *ParameterList) String() string {
+	var b strings.Builder
+	p.render(&b, 0)
+	return b.String()
+}
+
+func (p *ParameterList) render(b *strings.Builder, depth int) {
+	ind := strings.Repeat("  ", depth)
+	fmt.Fprintf(b, "%s%s:\n", ind, p.name)
+	for _, k := range p.Keys() {
+		p.mu.Lock()
+		v := p.values[k]
+		p.mu.Unlock()
+		fmt.Fprintf(b, "%s  %s = %v (%T)\n", ind, k, v, v)
+	}
+	p.mu.Lock()
+	names := make([]string, 0, len(p.subs))
+	for k := range p.subs {
+		names = append(names, k)
+	}
+	p.mu.Unlock()
+	sort.Strings(names)
+	for _, name := range names {
+		p.Sublist(name).render(b, depth+1)
+	}
+}

@@ -1,0 +1,347 @@
+package tpetra
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"odinhpc/internal/comm"
+	"odinhpc/internal/distmap"
+	"odinhpc/internal/sparse"
+)
+
+// CrsMatrix is a row-distributed sparse matrix: each rank stores the rows
+// its row map assigns to it. Columns are global during assembly; after
+// FillComplete they are renumbered into a local column space consisting of
+// the owned domain entries followed by the ghost (off-rank) entries, and a
+// GatherPlan is precomputed to fetch ghost values of x on every Apply.
+//
+// The domain and range maps equal the row map (square operators), which is
+// all the solver stack requires.
+type CrsMatrix struct {
+	c      *comm.Comm
+	rowMap *distmap.Map
+
+	// Assembly state (before FillComplete).
+	building bool
+	coo      *sparse.COO // local rows, global columns
+	// Contributions inserted into rows owned by other ranks; migrated to
+	// their owners (with summation) during FillComplete, as in Tpetra's
+	// insertGlobalValues + fillComplete export.
+	foreignRow []int
+	foreignCol []int
+	foreignVal []float64
+
+	// Assembled state.
+	local      *sparse.CSR // nOwnedRows x (nOwned + nGhost)
+	colGlobals []int       // local column id -> global index
+	nOwned     int         // owned domain entries (== local row count)
+	ghost      []int       // global indices of ghost columns (sorted)
+	plan       *GatherPlan
+	ghostBuf   []float64
+	xFull      []float64
+}
+
+// NewCrsMatrix returns an empty matrix in assembly mode over the given row
+// map. Insert entries with InsertGlobal, then call FillComplete.
+func NewCrsMatrix(c *comm.Comm, rowMap *distmap.Map) *CrsMatrix {
+	if rowMap.NumRanks() != c.Size() {
+		panic(fmt.Sprintf("tpetra: row map has %d ranks, communicator has %d", rowMap.NumRanks(), c.Size()))
+	}
+	n := rowMap.NumGlobal()
+	return &CrsMatrix{
+		c:        c,
+		rowMap:   rowMap,
+		building: true,
+		coo:      sparse.NewCOO(rowMap.LocalCount(c.Rank()), n),
+	}
+}
+
+// InsertGlobal adds value v at global (row, col). Duplicate insertions are
+// summed at FillComplete. Rows owned by other ranks are accepted and
+// migrated to their owners during FillComplete (finite-element assembly of
+// shared boundary contributions), matching Tpetra's export-on-fill
+// semantics.
+func (a *CrsMatrix) InsertGlobal(row, col int, v float64) {
+	if !a.building {
+		panic("tpetra: InsertGlobal after FillComplete")
+	}
+	owner, local := a.rowMap.GlobalToLocal(row)
+	if owner != a.c.Rank() {
+		if col < 0 || col >= a.rowMap.NumGlobal() {
+			panic(fmt.Sprintf("tpetra: column %d out of range", col))
+		}
+		a.foreignRow = append(a.foreignRow, row)
+		a.foreignCol = append(a.foreignCol, col)
+		a.foreignVal = append(a.foreignVal, v)
+		return
+	}
+	a.coo.Add(local, col, v)
+}
+
+// FillComplete finishes assembly: off-rank contributions are exported to
+// their owning ranks, columns are renumbered into the local column space,
+// and the ghost gather plan is built. Collective.
+func (a *CrsMatrix) FillComplete() {
+	if !a.building {
+		panic("tpetra: FillComplete called twice")
+	}
+	a.building = false
+	me := a.c.Rank()
+	// Export foreign contributions to their owners.
+	outRows := make([][]int, a.c.Size())
+	outCols := make([][]int, a.c.Size())
+	outVals := make([][]float64, a.c.Size())
+	for k, row := range a.foreignRow {
+		owner := a.rowMap.Owner(row)
+		outRows[owner] = append(outRows[owner], row)
+		outCols[owner] = append(outCols[owner], a.foreignCol[k])
+		outVals[owner] = append(outVals[owner], a.foreignVal[k])
+	}
+	a.foreignRow, a.foreignCol, a.foreignVal = nil, nil, nil
+	inRows := comm.Alltoall(a.c, outRows)
+	inCols := comm.Alltoall(a.c, outCols)
+	inVals := comm.Alltoall(a.c, outVals)
+	for r := range inRows {
+		for k, row := range inRows[r] {
+			owner, local := a.rowMap.GlobalToLocal(row)
+			if owner != me {
+				panic(fmt.Sprintf("tpetra: rank %d received row %d owned by %d", me, row, owner))
+			}
+			a.coo.Add(local, inCols[r][k], inVals[r][k])
+		}
+	}
+	globalCSR := a.coo.ToCSR() // local rows, global columns
+	a.coo = nil
+	a.nOwned = a.rowMap.LocalCount(me)
+
+	// Identify ghost columns: referenced globals not owned by this rank.
+	ghostSet := make(map[int]bool)
+	for _, g := range globalCSR.ColIdx {
+		if a.rowMap.Owner(g) != me {
+			ghostSet[g] = true
+		}
+	}
+	a.ghost = make([]int, 0, len(ghostSet))
+	for g := range ghostSet {
+		a.ghost = append(a.ghost, g)
+	}
+	sort.Ints(a.ghost)
+	ghostPos := make(map[int]int, len(a.ghost))
+	for k, g := range a.ghost {
+		ghostPos[g] = k
+	}
+
+	// Renumber columns: owned global -> its x-local index; ghost -> nOwned+k.
+	a.colGlobals = make([]int, a.nOwned+len(a.ghost))
+	for l := 0; l < a.nOwned; l++ {
+		a.colGlobals[l] = a.rowMap.LocalToGlobal(me, l)
+	}
+	copy(a.colGlobals[a.nOwned:], a.ghost)
+
+	localCols := make([]int, len(globalCSR.ColIdx))
+	for k, g := range globalCSR.ColIdx {
+		if a.rowMap.Owner(g) == me {
+			_, l := a.rowMap.GlobalToLocal(g)
+			localCols[k] = l
+		} else {
+			localCols[k] = a.nOwned + ghostPos[g]
+		}
+	}
+	// Rebuild with local columns (rows keep their order; columns inside a
+	// row must be re-sorted since renumbering is not monotone).
+	coo := sparse.NewCOO(a.nOwned, a.nOwned+len(a.ghost))
+	for i := 0; i < globalCSR.Rows; i++ {
+		lo, hi := globalCSR.RowPtr[i], globalCSR.RowPtr[i+1]
+		for k := lo; k < hi; k++ {
+			coo.Add(i, localCols[k], globalCSR.Val[k])
+		}
+	}
+	a.local = coo.ToCSR()
+	a.plan = NewGatherPlan(a.c, a.rowMap, a.ghost)
+	a.ghostBuf = make([]float64, len(a.ghost))
+	a.xFull = make([]float64, a.nOwned+len(a.ghost))
+}
+
+// Map returns the row (and domain, and range) map.
+func (a *CrsMatrix) Map() *distmap.Map { return a.rowMap }
+
+// Comm returns the communicator.
+func (a *CrsMatrix) Comm() *comm.Comm { return a.c }
+
+// Filled reports whether FillComplete has run.
+func (a *CrsMatrix) Filled() bool { return !a.building }
+
+// NumGhost returns the number of off-rank columns this rank references —
+// the per-Apply communication volume in elements.
+func (a *CrsMatrix) NumGhost() int { return len(a.ghost) }
+
+// LocalNNZ returns the number of stored entries on this rank.
+func (a *CrsMatrix) LocalNNZ() int {
+	a.mustBeFilled()
+	return a.local.NNZ()
+}
+
+// GlobalNNZ returns the total stored entries across ranks. Collective.
+func (a *CrsMatrix) GlobalNNZ() int {
+	return comm.AllreduceScalar(a.c, a.LocalNNZ(), comm.OpSum)
+}
+
+func (a *CrsMatrix) mustBeFilled() {
+	if a.building {
+		panic("tpetra: operation requires FillComplete")
+	}
+}
+
+// Apply computes y = A x. Both vectors must be distributed by the row map.
+// Collective: performs the ghost exchange then a local SpMV.
+func (a *CrsMatrix) Apply(x, y *Vector) {
+	a.mustBeFilled()
+	if !x.Map().SameAs(a.rowMap) || !y.Map().SameAs(a.rowMap) {
+		panic("tpetra: Apply vectors must use the matrix row map")
+	}
+	a.plan.Gather(a.c, x.Data, a.ghostBuf)
+	copy(a.xFull[:a.nOwned], x.Data)
+	copy(a.xFull[a.nOwned:], a.ghostBuf)
+	a.local.MulVec(a.xFull, y.Data)
+}
+
+// Diagonal returns the matrix diagonal as a distributed vector.
+func (a *CrsMatrix) Diagonal() *Vector {
+	a.mustBeFilled()
+	d := NewVector(a.c, a.rowMap)
+	for l := 0; l < a.nOwned; l++ {
+		d.Data[l] = a.local.At(l, l) // owned column l corresponds to owned row l
+	}
+	return d
+}
+
+// Scale multiplies every stored entry by alpha.
+func (a *CrsMatrix) Scale(alpha float64) {
+	a.mustBeFilled()
+	a.local.Scale(alpha)
+}
+
+// LeftScale scales row i by d[i] (d distributed by the row map).
+func (a *CrsMatrix) LeftScale(d *Vector) {
+	a.mustBeFilled()
+	if !d.Map().SameAs(a.rowMap) {
+		panic("tpetra: LeftScale vector must use the row map")
+	}
+	for i := 0; i < a.local.Rows; i++ {
+		for k := a.local.RowPtr[i]; k < a.local.RowPtr[i+1]; k++ {
+			a.local.Val[k] *= d.Data[i]
+		}
+	}
+}
+
+// NormFrobenius returns the global Frobenius norm. Collective.
+func (a *CrsMatrix) NormFrobenius() float64 {
+	a.mustBeFilled()
+	var local float64
+	for _, v := range a.local.Val {
+		local += v * v
+	}
+	return math.Sqrt(comm.AllreduceScalar(a.c, local, comm.OpSum))
+}
+
+// LocalDiagonalBlock extracts this rank's owned-rows x owned-columns block
+// as a serial CSR matrix — the sub-operator used by block-Jacobi and
+// additive-Schwarz preconditioning.
+func (a *CrsMatrix) LocalDiagonalBlock() *sparse.CSR {
+	a.mustBeFilled()
+	coo := sparse.NewCOO(a.nOwned, a.nOwned)
+	for i := 0; i < a.local.Rows; i++ {
+		cols, vals := a.local.Row(i)
+		for k, j := range cols {
+			if j < a.nOwned {
+				coo.Add(i, j, vals[k])
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+// LocalRows returns this rank's rows with global column indices, as
+// (globalRow, cols, vals) triples via the callback, for algorithms that need
+// raw access (AMG setup, gathering).
+func (a *CrsMatrix) LocalRows(f func(globalRow int, cols []int, vals []float64)) {
+	a.mustBeFilled()
+	me := a.c.Rank()
+	for i := 0; i < a.local.Rows; i++ {
+		lcols, vals := a.local.Row(i)
+		gcols := make([]int, len(lcols))
+		for k, j := range lcols {
+			gcols[k] = a.colGlobals[j]
+		}
+		f(a.rowMap.LocalToGlobal(me, i), gcols, vals)
+	}
+}
+
+// TransposeDist returns A^T with the same row map, assembled in parallel:
+// each rank re-inserts its entries with row/column swapped and the
+// export-on-fill path routes them to their owners (EpetraExt's sparse
+// transpose, paper Table I). Collective.
+func (a *CrsMatrix) TransposeDist() *CrsMatrix {
+	a.mustBeFilled()
+	out := NewCrsMatrix(a.c, a.rowMap)
+	a.LocalRows(func(gr int, cols []int, vals []float64) {
+		for k := range cols {
+			out.InsertGlobal(cols[k], gr, vals[k])
+		}
+	})
+	out.FillComplete()
+	return out
+}
+
+// GatherCSR assembles the full matrix as a serial CSR on every rank.
+// Collective; intended for direct solvers and coarse-grid setup.
+func (a *CrsMatrix) GatherCSR() *sparse.CSR {
+	a.mustBeFilled()
+	n := a.rowMap.NumGlobal()
+	// Flatten local triples.
+	var ri, ci []int
+	var vv []float64
+	a.LocalRows(func(gr int, cols []int, vals []float64) {
+		for k := range cols {
+			ri = append(ri, gr)
+			ci = append(ci, cols[k])
+			vv = append(vv, vals[k])
+		}
+	})
+	allRI := comm.AllgatherFlat(a.c, ri)
+	allCI := comm.AllgatherFlat(a.c, ci)
+	allVV := comm.AllgatherFlat(a.c, vv)
+	coo := sparse.NewCOO(n, n)
+	for k := range allRI {
+		coo.Add(allRI[k], allCI[k], allVV[k])
+	}
+	return coo.ToCSR()
+}
+
+// FromCSR distributes a serial CSR matrix (replicated on every rank) over
+// the given row map. Collective.
+func FromCSR(c *comm.Comm, rowMap *distmap.Map, m *sparse.CSR) *CrsMatrix {
+	if m.Rows != rowMap.NumGlobal() || m.Cols != rowMap.NumGlobal() {
+		panic(fmt.Sprintf("tpetra: FromCSR shape %dx%d does not match map n=%d", m.Rows, m.Cols, rowMap.NumGlobal()))
+	}
+	a := NewCrsMatrix(c, rowMap)
+	me := c.Rank()
+	for l := 0; l < rowMap.LocalCount(me); l++ {
+		g := rowMap.LocalToGlobal(me, l)
+		cols, vals := m.Row(g)
+		for k, j := range cols {
+			a.InsertGlobal(g, j, vals[k])
+		}
+	}
+	a.FillComplete()
+	return a
+}
+
+func (a *CrsMatrix) String() string {
+	state := "assembling"
+	if !a.building {
+		state = fmt.Sprintf("filled, local nnz=%d, ghosts=%d", a.local.NNZ(), len(a.ghost))
+	}
+	return fmt.Sprintf("CrsMatrix{n=%d, %s}", a.rowMap.NumGlobal(), state)
+}

@@ -1,0 +1,46 @@
+package tpetra
+
+import (
+	"fmt"
+
+	"odinhpc/internal/comm"
+)
+
+// ExportAdd pushes (global index, value) contributions — including ones for
+// elements owned by other ranks — into a distributed vector, summing into
+// the existing entries. This is the Export half of Tpetra's Import/Export
+// pair, the communication pattern of finite-element right-hand-side
+// assembly where boundary nodes receive contributions from several ranks.
+// Collective.
+func ExportAdd(v *Vector, globals []int, vals []float64) {
+	if len(globals) != len(vals) {
+		panic(fmt.Sprintf("tpetra: ExportAdd got %d indices and %d values", len(globals), len(vals)))
+	}
+	c := v.Comm()
+	me := c.Rank()
+	outIdx := make([][]int, c.Size())
+	outVal := make([][]float64, c.Size())
+	for k, g := range globals {
+		owner, local := v.Map().GlobalToLocal(g)
+		if owner == me {
+			v.Data[local] += vals[k]
+			continue
+		}
+		outIdx[owner] = append(outIdx[owner], g)
+		outVal[owner] = append(outVal[owner], vals[k])
+	}
+	inIdx := comm.Alltoall(c, outIdx)
+	inVal := comm.Alltoall(c, outVal)
+	for r := range inIdx {
+		if r == me {
+			continue
+		}
+		for k, g := range inIdx[r] {
+			owner, local := v.Map().GlobalToLocal(g)
+			if owner != me {
+				panic(fmt.Sprintf("tpetra: ExportAdd routed global %d to rank %d, owner is %d", g, me, owner))
+			}
+			v.Data[local] += inVal[r][k]
+		}
+	}
+}

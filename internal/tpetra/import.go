@@ -1,0 +1,167 @@
+package tpetra
+
+import (
+	"fmt"
+
+	"odinhpc/internal/comm"
+	"odinhpc/internal/distmap"
+)
+
+// GatherPlan is a reusable communication plan that fetches an arbitrary set
+// of global elements of a distributed vector onto the requesting rank. It is
+// built once (collectively) and applied many times — the pattern behind both
+// Tpetra's Import objects and ODIN's ghost/halo exchanges. Building costs one
+// Alltoall of index lists; each Gather costs one Alltoall of values whose
+// volume is exactly the number of remotely owned requested elements.
+type GatherPlan struct {
+	src     *distmap.Map
+	sendIdx [][]int // per destination rank: src-local indices this rank must send
+	recvPos [][]int // per source rank: positions in the output buffer to fill
+	selfSrc []int   // src-local indices satisfied locally
+	selfDst []int   // output positions for locally satisfied requests
+	outLen  int
+}
+
+// NewGatherPlan builds a plan delivering the elements with global indices
+// needed (in the given order, duplicates allowed) into an output buffer on
+// this rank. Collective: every rank must call it, each with its own needed
+// list (possibly empty).
+func NewGatherPlan(c *comm.Comm, src *distmap.Map, needed []int) *GatherPlan {
+	if src.NumRanks() != c.Size() {
+		panic(fmt.Sprintf("tpetra: map has %d ranks, communicator has %d", src.NumRanks(), c.Size()))
+	}
+	p := &GatherPlan{
+		src:     src,
+		sendIdx: make([][]int, c.Size()),
+		recvPos: make([][]int, c.Size()),
+		outLen:  len(needed),
+	}
+	me := c.Rank()
+	// Group requests by owner.
+	reqGlobals := make([][]int, c.Size())
+	for pos, g := range needed {
+		owner, local := src.GlobalToLocal(g)
+		if owner == me {
+			p.selfSrc = append(p.selfSrc, local)
+			p.selfDst = append(p.selfDst, pos)
+			continue
+		}
+		reqGlobals[owner] = append(reqGlobals[owner], g)
+		p.recvPos[owner] = append(p.recvPos[owner], pos)
+	}
+	// Exchange request lists; incoming lists tell us what to send.
+	incoming := comm.Alltoall(c, reqGlobals)
+	for r, globals := range incoming {
+		if r == me || len(globals) == 0 {
+			continue
+		}
+		idx := make([]int, len(globals))
+		for k, g := range globals {
+			owner, local := src.GlobalToLocal(g)
+			if owner != me {
+				panic(fmt.Sprintf("tpetra: rank %d asked rank %d for global %d owned by %d", r, me, g, owner))
+			}
+			idx[k] = local
+		}
+		p.sendIdx[r] = idx
+	}
+	return p
+}
+
+// OutLen returns the length of the output buffer the plan fills.
+func (p *GatherPlan) OutLen() int { return p.outLen }
+
+// RemoteCount returns how many requested elements live on other ranks — the
+// per-Gather communication volume in elements.
+func (p *GatherPlan) RemoteCount() int {
+	n := 0
+	for _, pos := range p.recvPos {
+		n += len(pos)
+	}
+	return n
+}
+
+// Gather executes the plan: local is this rank's segment of the source
+// vector; out (length OutLen) receives the requested elements in request
+// order. Collective.
+func (p *GatherPlan) Gather(c *comm.Comm, local, out []float64) {
+	if len(out) != p.outLen {
+		panic(fmt.Sprintf("tpetra: Gather output length %d, want %d", len(out), p.outLen))
+	}
+	// Satisfy local requests without communication.
+	for k, s := range p.selfSrc {
+		out[p.selfDst[k]] = local[s]
+	}
+	// Pack and exchange remote values.
+	outgoing := make([][]float64, c.Size())
+	for r, idx := range p.sendIdx {
+		if len(idx) == 0 {
+			continue
+		}
+		vals := make([]float64, len(idx))
+		for k, s := range idx {
+			vals[k] = local[s]
+		}
+		outgoing[r] = vals
+	}
+	incoming := comm.Alltoall(c, outgoing)
+	for r, vals := range incoming {
+		pos := p.recvPos[r]
+		if len(vals) != len(pos) {
+			panic(fmt.Sprintf("tpetra: Gather got %d values from rank %d, want %d", len(vals), r, len(pos)))
+		}
+		for k, v := range vals {
+			out[pos[k]] = v
+		}
+	}
+}
+
+// Import moves a distributed vector from one map to another with the same
+// global length. It is a GatherPlan whose request list is exactly the
+// target map's local globals — Tpetra's Import in miniature, and the
+// machinery behind ODIN's redistribution strategies (experiment E3).
+type Import struct {
+	src, dst *distmap.Map
+	plan     *GatherPlan
+}
+
+// NewImport builds the communication plan from src-distributed data to
+// dst-distributed data. Collective.
+func NewImport(c *comm.Comm, src, dst *distmap.Map) *Import {
+	if src.NumGlobal() != dst.NumGlobal() {
+		panic(fmt.Sprintf("tpetra: Import between different global sizes %d and %d", src.NumGlobal(), dst.NumGlobal()))
+	}
+	needed := dst.GlobalsOn(c.Rank())
+	return &Import{src: src, dst: dst, plan: NewGatherPlan(c, src, needed)}
+}
+
+// Src returns the source map.
+func (im *Import) Src() *distmap.Map { return im.src }
+
+// Dst returns the destination map.
+func (im *Import) Dst() *distmap.Map { return im.dst }
+
+// RemoteCount returns the number of elements this rank receives from other
+// ranks per Apply — the redistribution cost metric used by the strategy
+// chooser.
+func (im *Import) RemoteCount() int { return im.plan.RemoteCount() }
+
+// Apply redistributes: src vector (over Src map) into dst vector (over Dst
+// map). Collective.
+func (im *Import) Apply(src, dst *Vector) {
+	if !src.Map().SameAs(im.src) {
+		panic("tpetra: Import.Apply source vector has wrong map")
+	}
+	if !dst.Map().SameAs(im.dst) {
+		panic("tpetra: Import.Apply destination vector has wrong map")
+	}
+	im.plan.Gather(src.Comm(), src.Data, dst.Data)
+}
+
+// ImportVector is a convenience wrapper building a fresh plan and vector.
+func ImportVector(src *Vector, dst *distmap.Map) *Vector {
+	im := NewImport(src.Comm(), src.Map(), dst)
+	out := NewVector(src.Comm(), dst)
+	im.Apply(src, out)
+	return out
+}

@@ -1,0 +1,358 @@
+// Package tpetra implements the distributed linear algebra layer of the
+// Trilinos analog: vectors, multivectors, and compressed-row sparse matrices
+// distributed over a communicator according to a distmap.Map, plus the
+// import/gather communication plans that move data between distributions.
+//
+// The package mirrors the object model the paper describes in §II: a Map
+// fixes the distribution, Vectors hold one local segment per rank, and
+// CrsMatrix rows live on the rank that owns them, with off-rank column
+// entries fetched through a precomputed communication plan on each Apply.
+// Scalars are float64, the Epetra-era restriction the paper contrasts with
+// templated Tpetra; the ODIN layer (internal/core) carries the generic
+// element types.
+package tpetra
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"odinhpc/internal/comm"
+	"odinhpc/internal/distmap"
+)
+
+// Vector is a distributed vector: each rank holds the local segment of the
+// global vector described by its Map. All collective methods (Dot, Norm2,
+// ...) must be called by every rank of the communicator.
+type Vector struct {
+	c    *comm.Comm
+	m    *distmap.Map
+	Data []float64
+}
+
+// NewVector returns a zero-initialized distributed vector over map m.
+func NewVector(c *comm.Comm, m *distmap.Map) *Vector {
+	if m.NumRanks() != c.Size() {
+		panic(fmt.Sprintf("tpetra: map has %d ranks, communicator has %d", m.NumRanks(), c.Size()))
+	}
+	return &Vector{c: c, m: m, Data: make([]float64, m.LocalCount(c.Rank()))}
+}
+
+// WrapVector builds a vector around an existing local slice WITHOUT
+// copying: the vector and the caller share storage. This is the zero-copy
+// handoff the ODIN bridge uses ("ODIN arrays are designed to be optionally
+// compatible with Trilinos distributed Vectors", paper §III.E).
+func WrapVector(c *comm.Comm, m *distmap.Map, local []float64) *Vector {
+	if m.NumRanks() != c.Size() {
+		panic(fmt.Sprintf("tpetra: map has %d ranks, communicator has %d", m.NumRanks(), c.Size()))
+	}
+	if len(local) != m.LocalCount(c.Rank()) {
+		panic(fmt.Sprintf("tpetra: WrapVector local length %d, map expects %d", len(local), m.LocalCount(c.Rank())))
+	}
+	return &Vector{c: c, m: m, Data: local}
+}
+
+// Comm returns the communicator the vector lives on.
+func (v *Vector) Comm() *comm.Comm { return v.c }
+
+// Map returns the vector's distribution map.
+func (v *Vector) Map() *distmap.Map { return v.m }
+
+// LocalLen returns the length of this rank's segment.
+func (v *Vector) LocalLen() int { return len(v.Data) }
+
+// GlobalLen returns the global vector length.
+func (v *Vector) GlobalLen() int { return v.m.NumGlobal() }
+
+// checkCompat panics unless the two vectors share a distribution.
+func (v *Vector) checkCompat(w *Vector, op string) {
+	if !v.m.SameAs(w.m) {
+		panic(fmt.Sprintf("tpetra: %s requires conformable vectors (%v vs %v)", op, v.m, w.m))
+	}
+}
+
+// PutScalar sets every element to alpha.
+func (v *Vector) PutScalar(alpha float64) {
+	for i := range v.Data {
+		v.Data[i] = alpha
+	}
+}
+
+// Randomize fills the vector with deterministic pseudo-random values in
+// [-1, 1); each rank derives its stream from seed and its rank so the global
+// content is independent of P only in distribution, not value (matching
+// odin.random semantics: "a specified random seed, different for each node").
+func (v *Vector) Randomize(seed int64) {
+	rng := rand.New(rand.NewSource(seed + int64(v.c.Rank())*1_000_003))
+	for i := range v.Data {
+		v.Data[i] = 2*rng.Float64() - 1
+	}
+}
+
+// FillFromGlobal sets each element from a function of its global index,
+// giving P-independent content.
+func (v *Vector) FillFromGlobal(f func(g int) float64) {
+	r := v.c.Rank()
+	for l := range v.Data {
+		v.Data[l] = f(v.m.LocalToGlobal(r, l))
+	}
+}
+
+// Clone returns an independent copy with the same map.
+func (v *Vector) Clone() *Vector {
+	out := NewVector(v.c, v.m)
+	copy(out.Data, v.Data)
+	return out
+}
+
+// CopyFrom overwrites v's local data with w's (maps must match).
+func (v *Vector) CopyFrom(w *Vector) {
+	v.checkCompat(w, "CopyFrom")
+	copy(v.Data, w.Data)
+}
+
+// Scale multiplies the vector by alpha in place.
+func (v *Vector) Scale(alpha float64) {
+	for i := range v.Data {
+		v.Data[i] *= alpha
+	}
+}
+
+// Axpy computes v += alpha*x.
+func (v *Vector) Axpy(alpha float64, x *Vector) {
+	v.checkCompat(x, "Axpy")
+	for i := range v.Data {
+		v.Data[i] += alpha * x.Data[i]
+	}
+}
+
+// Update computes v = alpha*x + beta*v (the Epetra Update signature).
+func (v *Vector) Update(alpha float64, x *Vector, beta float64) {
+	v.checkCompat(x, "Update")
+	for i := range v.Data {
+		v.Data[i] = alpha*x.Data[i] + beta*v.Data[i]
+	}
+}
+
+// ElementWiseMultiply computes v[i] = x[i]*y[i].
+func (v *Vector) ElementWiseMultiply(x, y *Vector) {
+	v.checkCompat(x, "ElementWiseMultiply")
+	v.checkCompat(y, "ElementWiseMultiply")
+	for i := range v.Data {
+		v.Data[i] = x.Data[i] * y.Data[i]
+	}
+}
+
+// Reciprocal computes v[i] = 1/x[i]; zero entries produce +Inf as in IEEE.
+func (v *Vector) Reciprocal(x *Vector) {
+	v.checkCompat(x, "Reciprocal")
+	for i := range v.Data {
+		v.Data[i] = 1 / x.Data[i]
+	}
+}
+
+// Abs computes v[i] = |x[i]|.
+func (v *Vector) Abs(x *Vector) {
+	v.checkCompat(x, "Abs")
+	for i := range v.Data {
+		v.Data[i] = math.Abs(x.Data[i])
+	}
+}
+
+// Dot returns the global inner product <v, w>. Collective.
+func (v *Vector) Dot(w *Vector) float64 {
+	v.checkCompat(w, "Dot")
+	var local float64
+	for i := range v.Data {
+		local += v.Data[i] * w.Data[i]
+	}
+	return comm.AllreduceScalar(v.c, local, comm.OpSum)
+}
+
+// Norm2 returns the global Euclidean norm. Collective.
+func (v *Vector) Norm2() float64 {
+	var local float64
+	for _, x := range v.Data {
+		local += x * x
+	}
+	return math.Sqrt(comm.AllreduceScalar(v.c, local, comm.OpSum))
+}
+
+// Norm1 returns the global 1-norm. Collective.
+func (v *Vector) Norm1() float64 {
+	var local float64
+	for _, x := range v.Data {
+		local += math.Abs(x)
+	}
+	return comm.AllreduceScalar(v.c, local, comm.OpSum)
+}
+
+// NormInf returns the global max-norm. Collective.
+func (v *Vector) NormInf() float64 {
+	var local float64
+	for _, x := range v.Data {
+		if a := math.Abs(x); a > local {
+			local = a
+		}
+	}
+	return comm.AllreduceScalar(v.c, local, comm.OpMax)
+}
+
+// MeanValue returns the global arithmetic mean. Collective.
+func (v *Vector) MeanValue() float64 {
+	var local float64
+	for _, x := range v.Data {
+		local += x
+	}
+	return comm.AllreduceScalar(v.c, local, comm.OpSum) / float64(v.m.NumGlobal())
+}
+
+// MinValue returns the global minimum element. Collective.
+func (v *Vector) MinValue() float64 {
+	local := math.Inf(1)
+	for _, x := range v.Data {
+		if x < local {
+			local = x
+		}
+	}
+	return comm.AllreduceScalar(v.c, local, comm.OpMin)
+}
+
+// MaxValue returns the global maximum element. Collective.
+func (v *Vector) MaxValue() float64 {
+	local := math.Inf(-1)
+	for _, x := range v.Data {
+		if x > local {
+			local = x
+		}
+	}
+	return comm.AllreduceScalar(v.c, local, comm.OpMax)
+}
+
+// GatherAll returns the full global vector, in global order, on every rank.
+// Collective; intended for tests and small problems.
+func (v *Vector) GatherAll() []float64 {
+	parts := comm.Allgather(v.c, v.Data)
+	out := make([]float64, v.m.NumGlobal())
+	for r, p := range parts {
+		for l, x := range p {
+			out[v.m.LocalToGlobal(r, l)] = x
+		}
+	}
+	return out
+}
+
+// SetGlobal stores value at global index g; only the owning rank writes.
+// Non-collective (every rank may call it with the same arguments).
+func (v *Vector) SetGlobal(g int, value float64) {
+	r, l := v.m.GlobalToLocal(g)
+	if r == v.c.Rank() {
+		v.Data[l] = value
+	}
+}
+
+// GetGlobal returns the value at global index g on every rank. Collective:
+// the owner broadcasts the element.
+func (v *Vector) GetGlobal(g int) float64 {
+	r, l := v.m.GlobalToLocal(g)
+	var val float64
+	if r == v.c.Rank() {
+		val = v.Data[l]
+	}
+	return comm.BcastScalar(v.c, r, val)
+}
+
+func (v *Vector) String() string {
+	return fmt.Sprintf("Vector{%v, rank %d holds %d}", v.m, v.c.Rank(), len(v.Data))
+}
+
+// Operator is anything that can apply a distributed linear operator:
+// y = A x, where x and y are vectors over Map(). CrsMatrix implements it,
+// as do the preconditioners and the Seamless-compiled matrix-free operators.
+type Operator interface {
+	Apply(x, y *Vector)
+	Map() *distmap.Map
+}
+
+// MultiVector is a collection of nvec distributed vectors sharing one map,
+// the analog of Epetra_MultiVector used by block solvers and eigensolvers.
+type MultiVector struct {
+	c    *comm.Comm
+	m    *distmap.Map
+	cols []*Vector
+}
+
+// NewMultiVector returns a zero-initialized multivector with nvec columns.
+func NewMultiVector(c *comm.Comm, m *distmap.Map, nvec int) *MultiVector {
+	if nvec <= 0 {
+		panic(fmt.Sprintf("tpetra: MultiVector needs nvec > 0, got %d", nvec))
+	}
+	mv := &MultiVector{c: c, m: m, cols: make([]*Vector, nvec)}
+	for i := range mv.cols {
+		mv.cols[i] = NewVector(c, m)
+	}
+	return mv
+}
+
+// NumVectors returns the number of columns.
+func (mv *MultiVector) NumVectors() int { return len(mv.cols) }
+
+// Map returns the shared distribution map.
+func (mv *MultiVector) Map() *distmap.Map { return mv.m }
+
+// Vector returns column i (a shared reference, not a copy).
+func (mv *MultiVector) Vector(i int) *Vector { return mv.cols[i] }
+
+// Dot returns the column-wise inner products with w. Collective.
+func (mv *MultiVector) Dot(w *MultiVector) []float64 {
+	if len(mv.cols) != len(w.cols) {
+		panic("tpetra: MultiVector.Dot column count mismatch")
+	}
+	local := make([]float64, len(mv.cols))
+	for k := range mv.cols {
+		mv.cols[k].checkCompat(w.cols[k], "MultiVector.Dot")
+		for i := range mv.cols[k].Data {
+			local[k] += mv.cols[k].Data[i] * w.cols[k].Data[i]
+		}
+	}
+	return comm.Allreduce(mv.c, local, comm.OpSum)
+}
+
+// Norm2s returns the column-wise Euclidean norms. Collective.
+func (mv *MultiVector) Norm2s() []float64 {
+	local := make([]float64, len(mv.cols))
+	for k := range mv.cols {
+		for _, x := range mv.cols[k].Data {
+			local[k] += x * x
+		}
+	}
+	global := comm.Allreduce(mv.c, local, comm.OpSum)
+	for k := range global {
+		global[k] = math.Sqrt(global[k])
+	}
+	return global
+}
+
+// Update computes each column: mv = alpha*x + beta*mv.
+func (mv *MultiVector) Update(alpha float64, x *MultiVector, beta float64) {
+	if len(mv.cols) != len(x.cols) {
+		panic("tpetra: MultiVector.Update column count mismatch")
+	}
+	for k := range mv.cols {
+		mv.cols[k].Update(alpha, x.cols[k], beta)
+	}
+}
+
+// Scale multiplies every column by alpha.
+func (mv *MultiVector) Scale(alpha float64) {
+	for _, col := range mv.cols {
+		col.Scale(alpha)
+	}
+}
+
+// Randomize fills all columns deterministically from seed.
+func (mv *MultiVector) Randomize(seed int64) {
+	for k, col := range mv.cols {
+		col.Randomize(seed + int64(k)*7_919)
+	}
+}
