@@ -16,6 +16,7 @@ import (
 	"odinhpc/internal/core"
 	"odinhpc/internal/dense"
 	"odinhpc/internal/distmap"
+	"odinhpc/internal/exec"
 	"odinhpc/internal/fusion"
 	"odinhpc/internal/galeri"
 	"odinhpc/internal/precond"
@@ -25,6 +26,7 @@ import (
 	"odinhpc/internal/seamless/vm"
 	"odinhpc/internal/slicing"
 	"odinhpc/internal/solvers"
+	"odinhpc/internal/sparse"
 	"odinhpc/internal/table"
 	"odinhpc/internal/teuchos"
 	"odinhpc/internal/tpetra"
@@ -469,5 +471,82 @@ func BenchmarkTableGroupReduce(b *testing.B) {
 	})
 	if err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkExecScaling is the intra-rank counterpart of E5's rank sweeps:
+// it measures the exec engine's worker-pool scaling at pool sizes 1/2/4/8
+// on three hot paths at N = 2^20 — a dense unary ufunc (sin), the paper's
+// fused hypot expression, and tridiagonal CSR SpMV. Results are recorded in
+// BENCH_exec.json and discussed in EXPERIMENTS.md ("E-X intra-rank
+// scaling"). On a single-core host the pool sizes time-slice one CPU, so
+// expect ~1x; on a multi-core host the speedup at 4 workers is the headline
+// number.
+func BenchmarkExecScaling(b *testing.B) {
+	const n = 1 << 20
+	old := exec.Default()
+	defer exec.SetDefault(old)
+
+	// Tridiagonal Laplacian assembled directly in CSR form.
+	lap := &sparse.CSR{Rows: n, Cols: n, RowPtr: make([]int, n+1)}
+	lap.ColIdx = make([]int, 0, 3*n)
+	lap.Val = make([]float64, 0, 3*n)
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			lap.ColIdx = append(lap.ColIdx, i-1)
+			lap.Val = append(lap.Val, -1)
+		}
+		lap.ColIdx = append(lap.ColIdx, i)
+		lap.Val = append(lap.Val, 2)
+		if i < n-1 {
+			lap.ColIdx = append(lap.ColIdx, i+1)
+			lap.Val = append(lap.Val, -1)
+		}
+		lap.RowPtr[i+1] = len(lap.ColIdx)
+	}
+
+	for _, w := range []int{1, 2, 4, 8} {
+		exec.SetDefault(exec.New(exec.WithWorkers(w)))
+
+		b.Run(fmt.Sprintf("ufunc-sin/threads=%d", w), func(b *testing.B) {
+			x := dense.Linspace[float64](0, 1, n)
+			out := dense.Zeros[float64](n)
+			b.SetBytes(8 * n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dense.UnaryInto(out, x, math.Sin)
+			}
+		})
+
+		b.Run(fmt.Sprintf("fused-hypot/threads=%d", w), func(b *testing.B) {
+			err := comm.Run(1, func(c *comm.Comm) error {
+				ctx := core.NewContext(c)
+				x := core.FromFunc(ctx, []int{n}, func(g []int) float64 { return float64(g[0]) / n })
+				y := core.FromFunc(ctx, []int{n}, func(g []int) float64 { return 1 - float64(g[0])/n })
+				e := fusion.Sqrt(fusion.Var(x).Square().Add(fusion.Var(y).Square()))
+				b.SetBytes(8 * n)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_ = fusion.Eval(e)
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+
+		b.Run(fmt.Sprintf("spmv-csr/threads=%d", w), func(b *testing.B) {
+			x := make([]float64, n)
+			y := make([]float64, n)
+			for i := range x {
+				x[i] = float64(i%97) / 97
+			}
+			b.SetBytes(int64(8 * lap.NNZ()))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lap.MulVec(x, y)
+			}
+		})
 	}
 }

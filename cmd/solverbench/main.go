@@ -5,12 +5,20 @@
 //
 // Usage:
 //
-//	solverbench <e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|all>
+//	solverbench [-threads N] <e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|all>
+//
+// -threads sets the intra-rank worker-pool size of the exec engine, so ODIN
+// experiments can sweep per-rank goroutine parallelism (the intra-rank
+// counterpart of the rank sweeps) without recompiling. 0 keeps the default
+// (ODINHPC_THREADS env, else GOMAXPROCS).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
+
+	"odinhpc/internal/exec"
 )
 
 var experiments = []struct {
@@ -31,11 +39,17 @@ var experiments = []struct {
 }
 
 func main() {
-	if len(os.Args) < 2 {
+	threads := flag.Int("threads", 0, "intra-rank exec engine workers (0 = ODINHPC_THREADS env, else GOMAXPROCS)")
+	flag.Usage = usage
+	flag.Parse()
+	if *threads > 0 {
+		exec.SetDefaultWorkers(*threads)
+	}
+	if flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
-	sel := os.Args[1]
+	sel := flag.Arg(0)
 	ran := false
 	for _, e := range experiments {
 		if sel == e.name || sel == "all" {
@@ -55,7 +69,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: solverbench <experiment|all>")
+	fmt.Fprintln(os.Stderr, "usage: solverbench [-threads N] <experiment|all>")
 	for _, e := range experiments {
 		fmt.Fprintf(os.Stderr, "  %-4s %s\n", e.name, e.desc)
 	}

@@ -280,6 +280,64 @@ func (it *iterator) next() bool {
 	return false
 }
 
+// offsets walks the storage offsets of a strided view in row-major order
+// starting from an arbitrary flat position — the random-access complement of
+// iterator that lets the exec engine hand disjoint position spans of a
+// non-contiguous view to different workers.
+type offsets struct {
+	shape, strides []int
+	idx            []int
+	off            int
+}
+
+// newOffsets positions a walker at row-major flat position pos of a view
+// with the given shape, strides, and base storage offset.
+func newOffsets(shape, strides []int, base, pos int) *offsets {
+	o := &offsets{shape: shape, strides: strides, idx: make([]int, len(shape)), off: base}
+	for d := len(shape) - 1; d >= 0; d-- {
+		if shape[d] > 0 {
+			o.idx[d] = pos % shape[d]
+			pos /= shape[d]
+			o.off += o.idx[d] * strides[d]
+		}
+	}
+	return o
+}
+
+// advance moves the walker to the next row-major position in O(1) amortized.
+func (o *offsets) advance() {
+	for d := len(o.shape) - 1; d >= 0; d-- {
+		o.idx[d]++
+		o.off += o.strides[d]
+		if o.idx[d] < o.shape[d] {
+			return
+		}
+		o.idx[d] = 0
+		o.off -= o.shape[d] * o.strides[d]
+	}
+}
+
+// foldRange calls body with the storage offset of each element at row-major
+// positions [lo, hi). It handles arbitrary strides (sliced, transposed, and
+// negative-step views), so the exec-backed ufuncs and reductions can chunk
+// any view, not just flat buffers.
+func (a *Array[T]) foldRange(lo, hi int, body func(off int)) {
+	if hi <= lo {
+		return
+	}
+	if a.IsContiguous() {
+		for off := a.offset + lo; off < a.offset+hi; off++ {
+			body(off)
+		}
+		return
+	}
+	w := newOffsets(a.shape, a.strides, a.offset, lo)
+	for i := lo; i < hi; i++ {
+		body(w.off)
+		w.advance()
+	}
+}
+
 func shapeEq(a, b []int) bool {
 	if len(a) != len(b) {
 		return false

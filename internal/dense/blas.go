@@ -3,28 +3,36 @@ package dense
 import (
 	"fmt"
 	"math"
+
+	"odinhpc/internal/exec"
 )
 
 // This file provides the small dense linear-algebra kernels (BLAS level 1-3
 // subset plus LU/QR factorizations) used by the solver and preconditioner
 // packages. Everything operates on float64 slices or 2-d Arrays; the
-// distributed layers handle partitioning.
+// distributed layers handle partitioning. The BLAS-1 sweeps and the Gemv
+// row loop run on the exec engine; the factorizations stay serial (their
+// loop-carried dependencies don't chunk).
 
 // Axpy computes y += alpha*x for equal-length slices.
 func Axpy(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("dense: Axpy length mismatch %d vs %d", len(x), len(y)))
 	}
-	for i := range x {
-		y[i] += alpha * x[i]
-	}
+	exec.Default().ParallelFor(len(x), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			y[i] += alpha * x[i]
+		}
+	})
 }
 
 // Scal scales x by alpha in place.
 func Scal(alpha float64, x []float64) {
-	for i := range x {
-		x[i] *= alpha
-	}
+	exec.Default().ParallelFor(len(x), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			x[i] *= alpha
+		}
+	})
 }
 
 // DotSlices returns the inner product of two equal-length slices.
@@ -32,16 +40,53 @@ func DotSlices(x, y []float64) float64 {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("dense: Dot length mismatch %d vs %d", len(x), len(y)))
 	}
-	var acc float64
-	for i := range x {
-		acc += x[i] * y[i]
-	}
-	return acc
+	return exec.ParallelReduce(exec.Default(), len(x), func(lo, hi int) float64 {
+		var acc float64
+		for i := lo; i < hi; i++ {
+			acc += x[i] * y[i]
+		}
+		return acc
+	}, func(a, b float64) float64 { return a + b })
 }
 
 // Nrm2Slice returns the Euclidean norm of a slice.
 func Nrm2Slice(x []float64) float64 {
 	return math.Sqrt(DotSlices(x, x))
+}
+
+// SumSlice returns the sum of the slice's elements.
+func SumSlice(x []float64) float64 {
+	return exec.ParallelReduce(exec.Default(), len(x), func(lo, hi int) float64 {
+		var acc float64
+		for i := lo; i < hi; i++ {
+			acc += x[i]
+		}
+		return acc
+	}, func(a, b float64) float64 { return a + b })
+}
+
+// AsumSlice returns the sum of absolute values (BLAS dasum).
+func AsumSlice(x []float64) float64 {
+	return exec.ParallelReduce(exec.Default(), len(x), func(lo, hi int) float64 {
+		var acc float64
+		for i := lo; i < hi; i++ {
+			acc += math.Abs(x[i])
+		}
+		return acc
+	}, func(a, b float64) float64 { return a + b })
+}
+
+// AmaxSlice returns the maximum absolute value (0 for an empty slice).
+func AmaxSlice(x []float64) float64 {
+	return exec.ParallelReduce(exec.Default(), len(x), func(lo, hi int) float64 {
+		var acc float64
+		for i := lo; i < hi; i++ {
+			if a := math.Abs(x[i]); a > acc {
+				acc = a
+			}
+		}
+		return acc
+	}, func(a, b float64) float64 { return math.Max(a, b) })
 }
 
 // Gemv computes y = alpha*A*x + beta*y for a 2-d array A (m x n), x of
@@ -54,14 +99,17 @@ func Gemv(alpha float64, a *Array[float64], x []float64, beta float64, y []float
 	if len(x) != n || len(y) != m {
 		panic(fmt.Sprintf("dense: Gemv dims A=%dx%d x=%d y=%d", m, n, len(x), len(y)))
 	}
-	for i := 0; i < m; i++ {
-		var acc float64
-		ro := a.offset + i*a.strides[0]
-		for j := 0; j < n; j++ {
-			acc += a.data[ro+j*a.strides[1]] * x[j]
+	// Row-parallel: each output element is owned by exactly one span.
+	exec.Default().ParallelFor(m, func(ilo, ihi int) {
+		for i := ilo; i < ihi; i++ {
+			var acc float64
+			ro := a.offset + i*a.strides[0]
+			for j := 0; j < n; j++ {
+				acc += a.data[ro+j*a.strides[1]] * x[j]
+			}
+			y[i] = alpha*acc + beta*y[i]
 		}
-		y[i] = alpha*acc + beta*y[i]
-	}
+	})
 }
 
 // Gemm computes C = alpha*A*B + beta*C for 2-d arrays with compatible shapes.

@@ -3,38 +3,54 @@ package dense
 import (
 	"fmt"
 	"math"
+
+	"odinhpc/internal/exec"
 )
 
+// The element-wise loops and whole-array reductions in this file execute
+// through the process-wide exec engine (internal/exec): ODIN's claim that
+// ufuncs "parallelize trivially" (§III.D) is realized once, there, instead
+// of per kernel. With the default one-worker engine every function below is
+// exactly the serial loop it replaced; with more workers, element-wise
+// results are still bitwise identical and tree reductions (Sum, Dot,
+// Norm2, ...) are bitwise reproducible across pool sizes >= 2, differing
+// from the serial fold only by floating-point reassociation.
+
 // Unary applies f element-wise to src and returns a new contiguous array of
-// the same shape. This is the serial core of ODIN's "trivially parallelized"
-// unary ufuncs (§III.D).
+// the same shape.
 func Unary[T, U Elem](src *Array[T], f func(T) U) *Array[U] {
 	out := Zeros[U](src.shape...)
-	raw := out.Raw()
-	i := 0
-	src.Each(func(v T) {
-		raw[i] = f(v)
-		i++
-	})
+	UnaryInto(out, src, f)
 	return out
 }
 
 // UnaryInto applies f element-wise from src into dst (shapes must match).
+// dst may be src itself (in-place), but must not partially overlap it
+// through shifted views: elements are processed in spans that may run
+// concurrently.
 func UnaryInto[T, U Elem](dst *Array[U], src *Array[T], f func(T) U) {
 	if !shapeEq(dst.shape, src.shape) {
 		panic(fmt.Sprintf("dense: UnaryInto shape mismatch %v vs %v", dst.shape, src.shape))
 	}
+	n := src.Size()
 	if dst.IsContiguous() && src.IsContiguous() {
 		d, s := dst.Raw(), src.Raw()
-		for i := range s {
-			d[i] = f(s[i])
-		}
+		exec.Default().ParallelFor(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				d[i] = f(s[i])
+			}
+		})
 		return
 	}
-	it := newIterator(src.shape)
-	for it.next() {
-		dst.data[dst.offsetOf(it.idx)] = f(src.data[src.offsetOf(it.idx)])
-	}
+	exec.Default().ParallelFor(n, func(lo, hi int) {
+		sw := newOffsets(src.shape, src.strides, src.offset, lo)
+		dw := newOffsets(dst.shape, dst.strides, dst.offset, lo)
+		for i := lo; i < hi; i++ {
+			dst.data[dw.off] = f(src.data[sw.off])
+			sw.advance()
+			dw.advance()
+		}
+	})
 }
 
 // Binary applies f element-wise to (a, b) and returns a new array. Shapes
@@ -48,22 +64,33 @@ func Binary[T Elem](a, b *Array[T], f func(T, T) T) *Array[T] {
 	return out
 }
 
-// BinaryInto applies f element-wise into dst.
+// BinaryInto applies f element-wise into dst. dst may be a or b (in-place),
+// but must not partially overlap them through shifted views.
 func BinaryInto[T Elem](dst, a, b *Array[T], f func(T, T) T) {
 	if !shapeEq(a.shape, b.shape) || !shapeEq(dst.shape, a.shape) {
 		panic(fmt.Sprintf("dense: BinaryInto shape mismatch %v, %v, %v", dst.shape, a.shape, b.shape))
 	}
+	n := a.Size()
 	if dst.IsContiguous() && a.IsContiguous() && b.IsContiguous() {
 		d, x, y := dst.Raw(), a.Raw(), b.Raw()
-		for i := range x {
-			d[i] = f(x[i], y[i])
-		}
+		exec.Default().ParallelFor(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				d[i] = f(x[i], y[i])
+			}
+		})
 		return
 	}
-	it := newIterator(a.shape)
-	for it.next() {
-		dst.data[dst.offsetOf(it.idx)] = f(a.data[a.offsetOf(it.idx)], b.data[b.offsetOf(it.idx)])
-	}
+	exec.Default().ParallelFor(n, func(lo, hi int) {
+		aw := newOffsets(a.shape, a.strides, a.offset, lo)
+		bw := newOffsets(b.shape, b.strides, b.offset, lo)
+		dw := newOffsets(dst.shape, dst.strides, dst.offset, lo)
+		for i := lo; i < hi; i++ {
+			dst.data[dw.off] = f(a.data[aw.off], b.data[bw.off])
+			aw.advance()
+			bw.advance()
+			dw.advance()
+		}
+	})
 }
 
 // Scalar applies f(v, s) element-wise with a fixed scalar operand.
@@ -73,9 +100,11 @@ func Scalar[T Elem](a *Array[T], s T, f func(T, T) T) *Array[T] {
 
 // Sum returns the sum of all elements.
 func Sum[T Elem](a *Array[T]) T {
-	var acc T
-	a.Each(func(v T) { acc += v })
-	return acc
+	return exec.ParallelReduce(exec.Default(), a.Size(), func(lo, hi int) T {
+		var acc T
+		a.foldRange(lo, hi, func(off int) { acc += a.data[off] })
+		return acc
+	}, func(x, y T) T { return x + y })
 }
 
 // Prod returns the product of all elements (1 for an empty array).
@@ -90,15 +119,22 @@ func Min[T Real](a *Array[T]) T {
 	if a.Size() == 0 {
 		panic("dense: Min of empty array")
 	}
-	first := true
-	var best T
-	a.Each(func(v T) {
-		if first || v < best {
-			best = v
-			first = false
+	return exec.ParallelReduce(exec.Default(), a.Size(), func(lo, hi int) T {
+		first := true
+		var best T
+		a.foldRange(lo, hi, func(off int) {
+			if v := a.data[off]; first || v < best {
+				best = v
+				first = false
+			}
+		})
+		return best
+	}, func(x, y T) T {
+		if y < x {
+			return y
 		}
+		return x
 	})
-	return best
 }
 
 // Max returns the maximum element; it panics on an empty array.
@@ -106,15 +142,22 @@ func Max[T Real](a *Array[T]) T {
 	if a.Size() == 0 {
 		panic("dense: Max of empty array")
 	}
-	first := true
-	var best T
-	a.Each(func(v T) {
-		if first || v > best {
-			best = v
-			first = false
+	return exec.ParallelReduce(exec.Default(), a.Size(), func(lo, hi int) T {
+		first := true
+		var best T
+		a.foldRange(lo, hi, func(off int) {
+			if v := a.data[off]; first || v > best {
+				best = v
+				first = false
+			}
+		})
+		return best
+	}, func(x, y T) T {
+		if y > x {
+			return y
 		}
+		return x
 	})
-	return best
 }
 
 // ArgMin returns the row-major flat position of the minimum element.
@@ -122,10 +165,13 @@ func ArgMin[T Real](a *Array[T]) int {
 	if a.Size() == 0 {
 		panic("dense: ArgMin of empty array")
 	}
-	best, bi, i := a.Flatten()[0], 0, 0
-	a.Each(func(v T) {
-		if v < best {
+	first := true
+	var best T
+	bi, i := 0, 0
+	a.foldRange(0, a.Size(), func(off int) {
+		if v := a.data[off]; first || v < best {
 			best, bi = v, i
+			first = false
 		}
 		i++
 	})
@@ -137,10 +183,13 @@ func ArgMax[T Real](a *Array[T]) int {
 	if a.Size() == 0 {
 		panic("dense: ArgMax of empty array")
 	}
-	best, bi, i := a.Flatten()[0], 0, 0
-	a.Each(func(v T) {
-		if v > best {
+	first := true
+	var best T
+	bi, i := 0, 0
+	a.foldRange(0, a.Size(), func(off int) {
+		if v := a.data[off]; first || v > best {
 			best, bi = v, i
+			first = false
 		}
 		i++
 	})
@@ -203,43 +252,57 @@ func SumAxis[T Elem](a *Array[T], axis int) *Array[T] {
 	return ReduceAxis(a, axis, zero, func(acc, v T) T { return acc + v })
 }
 
-// Dot returns the inner product of two 1-d arrays of equal length.
+// Dot returns the inner product of two 1-d arrays of equal length. Both
+// operands may be arbitrary strided views.
 func Dot[T Elem](a, b *Array[T]) T {
 	if a.NDim() != 1 || b.NDim() != 1 || a.Dim(0) != b.Dim(0) {
 		panic(fmt.Sprintf("dense: Dot needs equal-length vectors, got %v and %v", a.shape, b.shape))
 	}
-	var acc T
-	n := a.Dim(0)
-	for i := 0; i < n; i++ {
-		acc += a.data[a.offset+i*a.strides[0]] * b.data[b.offset+i*b.strides[0]]
-	}
-	return acc
+	ad, bd := a.data, b.data
+	ao, bo := a.offset, b.offset
+	as, bs := a.strides[0], b.strides[0]
+	return exec.ParallelReduce(exec.Default(), a.Dim(0), func(lo, hi int) T {
+		var acc T
+		for i := lo; i < hi; i++ {
+			acc += ad[ao+i*as] * bd[bo+i*bs]
+		}
+		return acc
+	}, func(x, y T) T { return x + y })
 }
 
 // Norm2 returns the Euclidean norm of a float vector or matrix (Frobenius).
 func Norm2[T Float](a *Array[T]) float64 {
-	var acc float64
-	a.Each(func(v T) { acc += float64(v) * float64(v) })
-	return math.Sqrt(acc)
+	ss := exec.ParallelReduce(exec.Default(), a.Size(), func(lo, hi int) float64 {
+		var acc float64
+		a.foldRange(lo, hi, func(off int) {
+			v := float64(a.data[off])
+			acc += v * v
+		})
+		return acc
+	}, func(x, y float64) float64 { return x + y })
+	return math.Sqrt(ss)
 }
 
 // Norm1 returns the sum of absolute values.
 func Norm1[T Float](a *Array[T]) float64 {
-	var acc float64
-	a.Each(func(v T) { acc += math.Abs(float64(v)) })
-	return acc
+	return exec.ParallelReduce(exec.Default(), a.Size(), func(lo, hi int) float64 {
+		var acc float64
+		a.foldRange(lo, hi, func(off int) { acc += math.Abs(float64(a.data[off])) })
+		return acc
+	}, func(x, y float64) float64 { return x + y })
 }
 
 // NormInf returns the maximum absolute value (0 for empty arrays).
 func NormInf[T Float](a *Array[T]) float64 {
-	var acc float64
-	a.Each(func(v T) {
-		av := math.Abs(float64(v))
-		if av > acc {
-			acc = av
-		}
-	})
-	return acc
+	return exec.ParallelReduce(exec.Default(), a.Size(), func(lo, hi int) float64 {
+		var acc float64
+		a.foldRange(lo, hi, func(off int) {
+			if av := math.Abs(float64(a.data[off])); av > acc {
+				acc = av
+			}
+		})
+		return acc
+	}, func(x, y float64) float64 { return math.Max(x, y) })
 }
 
 // Where returns the row-major flat positions at which pred holds.
@@ -257,13 +320,15 @@ func Where[T Elem](a *Array[T], pred func(T) bool) []int {
 
 // Count returns the number of elements for which pred holds.
 func Count[T Elem](a *Array[T], pred func(T) bool) int {
-	n := 0
-	a.Each(func(v T) {
-		if pred(v) {
-			n++
-		}
-	})
-	return n
+	return exec.ParallelReduce(exec.Default(), a.Size(), func(lo, hi int) int {
+		n := 0
+		a.foldRange(lo, hi, func(off int) {
+			if pred(a.data[off]) {
+				n++
+			}
+		})
+		return n
+	}, func(x, y int) int { return x + y })
 }
 
 // AllClose reports whether two float arrays agree element-wise within

@@ -18,6 +18,7 @@ import (
 	"odinhpc/internal/comm"
 	"odinhpc/internal/core"
 	"odinhpc/internal/dense"
+	"odinhpc/internal/exec"
 	"odinhpc/internal/ufunc"
 )
 
@@ -233,12 +234,19 @@ func compile(e *Expr, p *Plan, dataOf map[*core.DistArray[float64]]int) func(int
 }
 
 // Execute runs the fused kernel, producing the result array in one sweep.
+// The sweep is chunked over the exec engine, so the fused expression gets
+// intra-rank parallelism on top of the rank parallelism of the leaves'
+// distribution — each element is computed independently from the flattened
+// leaf slices.
 func (p *Plan) Execute() *core.DistArray[float64] {
 	n := p.model.Local().Size()
 	out := make([]float64, n)
-	for i := 0; i < n; i++ {
-		out[i] = p.kernel(i)
-	}
+	kernel := p.kernel
+	exec.Default().ParallelFor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = kernel(i)
+		}
+	})
 	return p.model.WithLocal(dense.FromSlice(out, p.model.Local().Shape()...))
 }
 
@@ -273,16 +281,22 @@ func SumEval(e *Expr) float64 {
 	defer ctx.SetControlMessages(saved)
 	p := Analyze(e)
 	n := p.model.Local().Size()
-	var local float64
-	for i := 0; i < n; i++ {
-		local += p.kernel(i)
-	}
+	kernel := p.kernel
+	local := exec.ParallelReduce(exec.Default(), n, func(lo, hi int) float64 {
+		var acc float64
+		for i := lo; i < hi; i++ {
+			acc += kernel(i)
+		}
+		return acc
+	}, func(a, b float64) float64 { return a + b })
 	return comm.AllreduceScalar(ctx.Comm(), local, comm.OpSum)
 }
 
 // EvalNaive executes the expression one node at a time, materializing a
 // full distributed temporary per operation — NumPy-style eager evaluation,
-// the E5 baseline.
+// the E5 baseline. Its per-node loops run on the same exec engine as the
+// fused sweep (through ufunc -> dense), so E5 compares fusion against
+// temporaries at equal intra-rank parallelism.
 func EvalNaive(e *Expr) *core.DistArray[float64] {
 	switch e.kind {
 	case kindLeaf:

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"odinhpc/internal/exec"
 )
 
 // COO is a coordinate-format triplet builder. Duplicate entries are summed
@@ -165,48 +167,77 @@ func (m *CSR) Row(i int) (cols []int, vals []float64) {
 	return m.ColIdx[lo:hi], m.Val[lo:hi]
 }
 
-// MulVec computes y = A*x. The output slice y must have length Rows.
+// MulVec computes y = A*x. The output slice y must have length Rows. The
+// product is row-parallel on the exec engine: each output element is owned
+// by exactly one row span.
 func (m *CSR) MulVec(x, y []float64) {
 	if len(x) != m.Cols || len(y) != m.Rows {
 		panic(fmt.Sprintf("sparse: MulVec dims A=%dx%d x=%d y=%d", m.Rows, m.Cols, len(x), len(y)))
 	}
-	for i := 0; i < m.Rows; i++ {
-		var acc float64
-		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-			acc += m.Val[k] * x[m.ColIdx[k]]
+	exec.Default().ParallelFor(m.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var acc float64
+			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+				acc += m.Val[k] * x[m.ColIdx[k]]
+			}
+			y[i] = acc
 		}
-		y[i] = acc
-	}
+	})
 }
 
-// MulVecAdd computes y += alpha * A*x.
+// MulVecAdd computes y += alpha * A*x. Row-parallel like MulVec.
 func (m *CSR) MulVecAdd(alpha float64, x, y []float64) {
 	if len(x) != m.Cols || len(y) != m.Rows {
 		panic("sparse: MulVecAdd dimension mismatch")
 	}
-	for i := 0; i < m.Rows; i++ {
-		var acc float64
-		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-			acc += m.Val[k] * x[m.ColIdx[k]]
+	exec.Default().ParallelFor(m.Rows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var acc float64
+			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+				acc += m.Val[k] * x[m.ColIdx[k]]
+			}
+			y[i] += alpha * acc
 		}
-		y[i] += alpha * acc
-	}
+	})
 }
 
-// MulVecTrans computes y = A^T*x; y must have length Cols.
+// MulVecTrans computes y = A^T*x; y must have length Cols. Rows scatter
+// into shared output columns, so the parallel path reduces per-span partial
+// output vectors (combined in the engine's fixed chunk-index tree) instead
+// of racing on y; a one-worker engine writes y directly in row order.
 func (m *CSR) MulVecTrans(x, y []float64) {
 	if len(x) != m.Rows || len(y) != m.Cols {
 		panic("sparse: MulVecTrans dimension mismatch")
 	}
-	for j := range y {
-		y[j] = 0
-	}
-	for i := 0; i < m.Rows; i++ {
-		xi := x[i]
-		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
-			y[m.ColIdx[k]] += m.Val[k] * xi
+	e := exec.Default()
+	if e.Workers() == 1 {
+		for j := range y {
+			y[j] = 0
 		}
+		for i := 0; i < m.Rows; i++ {
+			xi := x[i]
+			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+				y[m.ColIdx[k]] += m.Val[k] * xi
+			}
+		}
+		return
 	}
+	out := exec.ParallelReduce(e, m.Rows, func(lo, hi int) []float64 {
+		acc := make([]float64, m.Cols)
+		for i := lo; i < hi; i++ {
+			xi := x[i]
+			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+				acc[m.ColIdx[k]] += m.Val[k] * xi
+			}
+		}
+		return acc
+	}, func(a, b []float64) []float64 {
+		for j := range a {
+			a[j] += b[j]
+		}
+		return a
+	})
+	copy(y, out)
 }
 
 // Transpose returns A^T as a new CSR matrix.

@@ -18,7 +18,9 @@ import (
 	"math/rand"
 
 	"odinhpc/internal/comm"
+	"odinhpc/internal/dense"
 	"odinhpc/internal/distmap"
+	"odinhpc/internal/exec"
 )
 
 // Vector is a distributed vector: each rank holds the local segment of the
@@ -73,9 +75,12 @@ func (v *Vector) checkCompat(w *Vector, op string) {
 
 // PutScalar sets every element to alpha.
 func (v *Vector) PutScalar(alpha float64) {
-	for i := range v.Data {
-		v.Data[i] = alpha
-	}
+	data := v.Data
+	exec.Default().ParallelFor(len(data), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			data[i] = alpha
+		}
+	})
 }
 
 // Randomize fills the vector with deterministic pseudo-random values in
@@ -113,119 +118,116 @@ func (v *Vector) CopyFrom(w *Vector) {
 
 // Scale multiplies the vector by alpha in place.
 func (v *Vector) Scale(alpha float64) {
-	for i := range v.Data {
-		v.Data[i] *= alpha
-	}
+	dense.Scal(alpha, v.Data)
 }
 
 // Axpy computes v += alpha*x.
 func (v *Vector) Axpy(alpha float64, x *Vector) {
 	v.checkCompat(x, "Axpy")
-	for i := range v.Data {
-		v.Data[i] += alpha * x.Data[i]
-	}
+	dense.Axpy(alpha, x.Data, v.Data)
 }
 
 // Update computes v = alpha*x + beta*v (the Epetra Update signature).
 func (v *Vector) Update(alpha float64, x *Vector, beta float64) {
 	v.checkCompat(x, "Update")
-	for i := range v.Data {
-		v.Data[i] = alpha*x.Data[i] + beta*v.Data[i]
-	}
+	d, xd := v.Data, x.Data
+	exec.Default().ParallelFor(len(d), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d[i] = alpha*xd[i] + beta*d[i]
+		}
+	})
 }
 
 // ElementWiseMultiply computes v[i] = x[i]*y[i].
 func (v *Vector) ElementWiseMultiply(x, y *Vector) {
 	v.checkCompat(x, "ElementWiseMultiply")
 	v.checkCompat(y, "ElementWiseMultiply")
-	for i := range v.Data {
-		v.Data[i] = x.Data[i] * y.Data[i]
-	}
+	d, xd, yd := v.Data, x.Data, y.Data
+	exec.Default().ParallelFor(len(d), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d[i] = xd[i] * yd[i]
+		}
+	})
 }
 
 // Reciprocal computes v[i] = 1/x[i]; zero entries produce +Inf as in IEEE.
 func (v *Vector) Reciprocal(x *Vector) {
 	v.checkCompat(x, "Reciprocal")
-	for i := range v.Data {
-		v.Data[i] = 1 / x.Data[i]
-	}
+	d, xd := v.Data, x.Data
+	exec.Default().ParallelFor(len(d), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d[i] = 1 / xd[i]
+		}
+	})
 }
 
 // Abs computes v[i] = |x[i]|.
 func (v *Vector) Abs(x *Vector) {
 	v.checkCompat(x, "Abs")
-	for i := range v.Data {
-		v.Data[i] = math.Abs(x.Data[i])
-	}
+	d, xd := v.Data, x.Data
+	exec.Default().ParallelFor(len(d), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d[i] = math.Abs(xd[i])
+		}
+	})
 }
 
-// Dot returns the global inner product <v, w>. Collective.
+// Dot returns the global inner product <v, w>. Collective. The local part
+// runs on the exec engine; the cross-rank part is the usual allreduce.
 func (v *Vector) Dot(w *Vector) float64 {
 	v.checkCompat(w, "Dot")
-	var local float64
-	for i := range v.Data {
-		local += v.Data[i] * w.Data[i]
-	}
+	local := dense.DotSlices(v.Data, w.Data)
 	return comm.AllreduceScalar(v.c, local, comm.OpSum)
 }
 
 // Norm2 returns the global Euclidean norm. Collective.
 func (v *Vector) Norm2() float64 {
-	var local float64
-	for _, x := range v.Data {
-		local += x * x
-	}
+	local := dense.DotSlices(v.Data, v.Data)
 	return math.Sqrt(comm.AllreduceScalar(v.c, local, comm.OpSum))
 }
 
 // Norm1 returns the global 1-norm. Collective.
 func (v *Vector) Norm1() float64 {
-	var local float64
-	for _, x := range v.Data {
-		local += math.Abs(x)
-	}
-	return comm.AllreduceScalar(v.c, local, comm.OpSum)
+	return comm.AllreduceScalar(v.c, dense.AsumSlice(v.Data), comm.OpSum)
 }
 
 // NormInf returns the global max-norm. Collective.
 func (v *Vector) NormInf() float64 {
-	var local float64
-	for _, x := range v.Data {
-		if a := math.Abs(x); a > local {
-			local = a
-		}
-	}
-	return comm.AllreduceScalar(v.c, local, comm.OpMax)
+	return comm.AllreduceScalar(v.c, dense.AmaxSlice(v.Data), comm.OpMax)
 }
 
 // MeanValue returns the global arithmetic mean. Collective.
 func (v *Vector) MeanValue() float64 {
-	var local float64
-	for _, x := range v.Data {
-		local += x
-	}
-	return comm.AllreduceScalar(v.c, local, comm.OpSum) / float64(v.m.NumGlobal())
+	return comm.AllreduceScalar(v.c, dense.SumSlice(v.Data), comm.OpSum) / float64(v.m.NumGlobal())
 }
 
 // MinValue returns the global minimum element. Collective.
 func (v *Vector) MinValue() float64 {
-	local := math.Inf(1)
-	for _, x := range v.Data {
-		if x < local {
-			local = x
+	data := v.Data
+	local := exec.ParallelReduce(exec.Default(), len(data), func(lo, hi int) float64 {
+		best := math.Inf(1)
+		for i := lo; i < hi; i++ {
+			if data[i] < best {
+				best = data[i]
+			}
 		}
-	}
+		return best
+	}, math.Min)
 	return comm.AllreduceScalar(v.c, local, comm.OpMin)
 }
 
 // MaxValue returns the global maximum element. Collective.
 func (v *Vector) MaxValue() float64 {
-	local := math.Inf(-1)
-	for _, x := range v.Data {
-		if x > local {
-			local = x
+	data := v.Data
+	local := exec.ParallelReduce(exec.Default(), len(data), func(lo, hi int) float64 {
+		best := math.Inf(-1)
+		for i := lo; i < hi; i++ {
+			if data[i] > best {
+				best = data[i]
+			}
 		}
-	}
+		return best
+	}, math.Max)
 	return comm.AllreduceScalar(v.c, local, comm.OpMax)
 }
 
@@ -311,9 +313,7 @@ func (mv *MultiVector) Dot(w *MultiVector) []float64 {
 	local := make([]float64, len(mv.cols))
 	for k := range mv.cols {
 		mv.cols[k].checkCompat(w.cols[k], "MultiVector.Dot")
-		for i := range mv.cols[k].Data {
-			local[k] += mv.cols[k].Data[i] * w.cols[k].Data[i]
-		}
+		local[k] = dense.DotSlices(mv.cols[k].Data, w.cols[k].Data)
 	}
 	return comm.Allreduce(mv.c, local, comm.OpSum)
 }
@@ -322,9 +322,7 @@ func (mv *MultiVector) Dot(w *MultiVector) []float64 {
 func (mv *MultiVector) Norm2s() []float64 {
 	local := make([]float64, len(mv.cols))
 	for k := range mv.cols {
-		for _, x := range mv.cols[k].Data {
-			local[k] += x * x
-		}
+		local[k] = dense.DotSlices(mv.cols[k].Data, mv.cols[k].Data)
 	}
 	global := comm.Allreduce(mv.c, local, comm.OpSum)
 	for k := range global {

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Repo verification: tier-1 build+test plus static analysis and the race
+# detector over the concurrency-bearing packages (the simulated-MPI layer
+# and the intra-rank exec engine, whose equivalence tests drive goroutine
+# pools through dense/fusion/sparse kernels).
+#
+# Usage: ./scripts/verify.sh
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test ./...
+go test -race ./internal/comm ./internal/core ./internal/exec
