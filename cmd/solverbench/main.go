@@ -5,12 +5,16 @@
 //
 // Usage:
 //
-//	solverbench [-threads N] <e1|e2|e3|e4|e5|e6|e7|e8|e9|e10|all>
+//	solverbench [-threads N] [-faults SPEC] <e1|e2|...|e11|all>
 //
 // -threads sets the intra-rank worker-pool size of the exec engine, so ODIN
 // experiments can sweep per-rank goroutine parallelism (the intra-rank
 // counterpart of the rank sweeps) without recompiling. 0 keeps the default
 // (ODINHPC_THREADS env, else GOMAXPROCS).
+//
+// -faults injects a seeded comm-fabric fault plan into the e11 sweep in
+// place of the built-in plan matrix. The spec is the compact form accepted
+// by comm.ParseFaultPlan, e.g. "seed=42,drop=0.1,retries=8,delay=0.3".
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"fmt"
 	"os"
 
+	"odinhpc/internal/comm"
 	"odinhpc/internal/exec"
 )
 
@@ -36,14 +41,24 @@ var experiments = []struct {
 	{"e8", "ODIN arrays through Trilinos-analog solvers (paper §II/§V)", e8},
 	{"e9", "Table I feature parity", e9},
 	{"e10", "master is not a bottleneck (paper Fig. 1)", e10},
+	{"e11", "fault sweep: CG under comm-fabric perturbation", e11},
 }
 
 func main() {
 	threads := flag.Int("threads", 0, "intra-rank exec engine workers (0 = ODINHPC_THREADS env, else GOMAXPROCS)")
+	faults := flag.String("faults", "", "fault plan for e11 (comm.ParseFaultPlan spec, e.g. \"seed=42,drop=0.1\")")
 	flag.Usage = usage
 	flag.Parse()
 	if *threads > 0 {
 		exec.SetDefaultWorkers(*threads)
+	}
+	if *faults != "" {
+		plan, err := comm.ParseFaultPlan(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-faults: %v\n", err)
+			os.Exit(2)
+		}
+		faultsFlag = plan
 	}
 	if flag.NArg() < 1 {
 		usage()
@@ -69,7 +84,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: solverbench [-threads N] <experiment|all>")
+	fmt.Fprintln(os.Stderr, "usage: solverbench [-threads N] [-faults SPEC] <experiment|all>")
 	for _, e := range experiments {
 		fmt.Fprintf(os.Stderr, "  %-4s %s\n", e.name, e.desc)
 	}

@@ -1,0 +1,139 @@
+// Package chaostest is the chaos conformance harness for the comm fabric
+// and everything built on it. It replays a kernel — any collective or
+// distributed operation — under a deterministic matrix of seeded fault
+// plans and asserts the contract the fault layer guarantees: the kernel
+// either produces results bitwise-identical to its fault-free run, or every
+// rank returns a typed *comm.FaultError. It never hangs (each run is
+// bounded by a watchdog) and never returns a silently wrong answer.
+//
+// Consumer packages (tpetra, distmap, slicing, solvers) register their
+// distributed kernels as Kernel values and call Run from a TestChaos* test;
+// scripts/verify.sh replays all of them under -race -count=2 to also catch
+// schedule-dependent flakiness.
+package chaostest
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"odinhpc/internal/comm"
+)
+
+// Kernel is one distributed operation under test. Body runs on every rank
+// of the communicator and returns that rank's result payload; payloads are
+// compared with reflect.DeepEqual against the fault-free run, so bodies
+// must return deterministic, NaN-free values.
+type Kernel struct {
+	Name string
+	Body func(c *comm.Comm) (any, error)
+}
+
+// Case is one named fault plan of the conformance matrix.
+type Case struct {
+	Name string
+	Plan *comm.FaultPlan
+}
+
+// Watchdog bounds one kernel run under one plan. It is generous: fault
+// propagation wakes blocked ranks in milliseconds, so hitting this means a
+// genuine hang.
+const Watchdog = 30 * time.Second
+
+// Plans returns the deterministic conformance matrix for a communicator of
+// the given size, every plan seeded from seed. The matrix covers each fault
+// dimension alone, a crash, an unsurvivable drop storm, and a combined
+// storm.
+func Plans(seed int64, size int) []Case {
+	slow := map[int]time.Duration{0: 50 * time.Microsecond}
+	if size > 1 {
+		slow[size-1] = 120 * time.Microsecond
+	}
+	return []Case{
+		{"zero", &comm.FaultPlan{Seed: seed}},
+		{"delay", &comm.FaultPlan{Seed: seed, DelayProb: 0.35, MaxDelay: 3}},
+		{"reorder", &comm.FaultPlan{Seed: seed, ReorderProb: 0.5}},
+		{"dup", &comm.FaultPlan{Seed: seed, DupProb: 0.3}},
+		{"drop-retry", &comm.FaultPlan{Seed: seed, DropProb: 0.25, MaxRetries: 10}},
+		{"drop-hard", &comm.FaultPlan{Seed: seed, DropProb: 0.7, MaxRetries: 1}},
+		{"slow", &comm.FaultPlan{Seed: seed, SlowRanks: slow}},
+		{"crash", &comm.FaultPlan{Seed: seed, CrashRank: size - 1, CrashAtColl: 2}},
+		{"storm", &comm.FaultPlan{Seed: seed, DelayProb: 0.3, DupProb: 0.2, ReorderProb: 0.4, DropProb: 0.15, MaxRetries: 10, SlowRanks: slow}},
+	}
+}
+
+// runOutcome is one watched session: per-rank results, the session error,
+// and the traffic snapshot.
+type runOutcome struct {
+	results []any
+	stats   comm.StatsSnapshot
+	err     error
+}
+
+// watchedRun executes the kernel on size ranks under cfg, failing the test
+// if the session outlives the watchdog.
+func watchedRun(t *testing.T, label string, size int, cfg comm.Config, k Kernel) runOutcome {
+	t.Helper()
+	done := make(chan runOutcome, 1)
+	go func() {
+		results := make([]any, size)
+		stats, err := comm.RunConfig(size, cfg, func(c *comm.Comm) (kerr error) {
+			res, kerr := k.Body(c)
+			results[c.Rank()] = res
+			return kerr
+		})
+		done <- runOutcome{results: results, stats: stats.Snapshot(), err: err}
+	}()
+	select {
+	case out := <-done:
+		return out
+	case <-time.After(Watchdog):
+		t.Fatalf("%s: HANG — no completion within %v", label, Watchdog)
+		panic("unreachable")
+	}
+}
+
+// Run replays every kernel at every size under the full plan matrix and
+// asserts the chaos contract. The fault-free reference run must succeed.
+func Run(t *testing.T, sizes []int, seed int64, kernels ...Kernel) {
+	t.Helper()
+	for _, k := range kernels {
+		for _, size := range sizes {
+			label := fmt.Sprintf("%s/P=%d", k.Name, size)
+			ref := watchedRun(t, label+"/reference", size, comm.Config{}, k)
+			if ref.err != nil {
+				t.Fatalf("%s: fault-free reference run failed: %v", label, ref.err)
+			}
+			for _, cs := range Plans(seed, size) {
+				cl := label + "/" + cs.Name
+				out := watchedRun(t, cl, size, comm.Config{Faults: cs.Plan}, k)
+				if out.err != nil {
+					var fe *comm.FaultError
+					if !errors.As(out.err, &fe) {
+						t.Fatalf("%s: failed with untyped error %v (want *comm.FaultError)", cl, out.err)
+					}
+					continue // clean typed failure is an accepted outcome
+				}
+				for r := 0; r < size; r++ {
+					if !reflect.DeepEqual(out.results[r], ref.results[r]) {
+						t.Fatalf("%s: rank %d result diverged from fault-free run\n got: %#v\nwant: %#v",
+							cl, r, out.results[r], ref.results[r])
+					}
+				}
+				if cs.Name == "zero" {
+					// The injection layer is pay-for-use: a zero-fault plan
+					// must leave the traffic matrices untouched.
+					if !reflect.DeepEqual(out.stats.Msgs, ref.stats.Msgs) || !reflect.DeepEqual(out.stats.Bytes, ref.stats.Bytes) {
+						t.Fatalf("%s: zero-fault plan changed the traffic matrices\n got: %v\nwant: %v",
+							cl, out.stats.MsgMatrixString(), ref.stats.MsgMatrixString())
+					}
+					if out.stats.Faults.Any() {
+						t.Fatalf("%s: zero-fault plan recorded perturbations: %v", cl, out.stats.Faults)
+					}
+				}
+			}
+		}
+	}
+}

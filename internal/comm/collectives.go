@@ -54,9 +54,12 @@ func applyOp[T Number](op Op, a, b T) T {
 
 // nextColl returns a fresh tag namespace for one collective call. Collectives
 // are SPMD operations: every rank must call them in the same order, so the
-// per-rank sequence numbers stay synchronized without communication.
+// per-rank sequence numbers stay synchronized without communication. It is
+// also the fault layer's crash point: a plan that crashes this rank at this
+// collective index unwinds here, before any round of the collective runs.
 func (c *Comm) nextColl() int {
 	c.collSeq++
+	c.crashCheck()
 	return c.collSeq
 }
 

@@ -28,14 +28,23 @@ type Message struct {
 	Src     int
 	Tag     int
 	Payload any
+
+	// seq is the per-(src,dst) delivery sequence number, assigned only while
+	// a fault plan is active; receivers use it to discard duplicated
+	// deliveries. Zero means "no fault layer".
+	seq uint64
 }
 
 // mailbox is the per-destination message queue. Receivers scan it for a
 // matching (src, tag) pair and block on the condition variable otherwise.
+// The delayed and seen fields belong to the fault-injection layer and stay
+// nil/empty when no plan is active.
 type mailbox struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	queue []Message
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []Message
+	delayed []heldMsg
+	seen    map[int]map[uint64]struct{}
 }
 
 func newMailbox() *mailbox {
@@ -45,12 +54,15 @@ func newMailbox() *mailbox {
 }
 
 // fabric is the shared state of one communicator: one mailbox per rank plus
-// traffic statistics and the cost model.
+// traffic statistics, the cost model, and (optionally) the fault plan with
+// its session-wide abort latch.
 type fabric struct {
 	size  int
 	boxes []*mailbox
 	stats *Stats
 	model *CostModel
+	plan  *FaultPlan
+	fs    *failState
 }
 
 // Comm is one rank's handle on the communicator. It is owned by a single
@@ -59,8 +71,9 @@ type Comm struct {
 	rank    int
 	size    int
 	f       *fabric
-	collSeq int     // per-rank collective sequence number (SPMD-synchronized)
-	simTime float64 // accumulated modeled communication time, seconds
+	collSeq int      // per-rank collective sequence number (SPMD-synchronized)
+	simTime float64  // accumulated modeled communication time, seconds
+	sendSeq []uint64 // per-destination delivery sequence (fault plans only)
 }
 
 // Rank returns this rank's index in [0, Size).
@@ -86,18 +99,43 @@ func RunStats(size int, fn func(c *Comm) error) (*Stats, error) {
 // RunModel is RunStats with an explicit cost model applied to every message.
 // A nil model disables time accounting.
 func RunModel(size int, model *CostModel, fn func(c *Comm) error) (*Stats, error) {
+	return RunConfig(size, Config{Model: model}, fn)
+}
+
+// Config bundles the optional knobs of a communicator session: a cost model
+// for modeled time and a fault plan for chaos runs. The zero value matches
+// RunStats.
+type Config struct {
+	Model  *CostModel
+	Faults *FaultPlan
+}
+
+// RunConfig is the fully configurable session entry point. With a fault
+// plan, any rank failure (planned crash, exhausted retransmits, watchdog
+// timeout, user error, or panic) aborts the whole session: peers blocked in
+// Recv wake promptly and report a *FaultError instead of hanging, matching
+// MPI's abort-the-job default but with a typed in-process error.
+func RunConfig(size int, cfg Config, fn func(c *Comm) error) (*Stats, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("comm: size must be positive, got %d", size)
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.validate(size); err != nil {
+			return nil, err
+		}
 	}
 	f := &fabric{
 		size:  size,
 		boxes: make([]*mailbox, size),
 		stats: newStats(size),
-		model: model,
+		model: cfg.Model,
+		plan:  cfg.Faults,
+		fs:    newFailState(),
 	}
 	for i := range f.boxes {
 		f.boxes[i] = newMailbox()
 	}
+	f.fs.register(f.boxes)
 	errs := make([]error, size)
 	var wg sync.WaitGroup
 	for r := 0; r < size; r++ {
@@ -106,19 +144,56 @@ func RunModel(size int, model *CostModel, fn func(c *Comm) error) (*Stats, error
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					errs[rank] = fmt.Errorf("comm: rank %d panicked: %v", rank, p)
+					if fe, ok := p.(*FaultError); ok {
+						errs[rank] = fe
+					} else {
+						errs[rank] = fmt.Errorf("comm: rank %d panicked: %v", rank, p)
+					}
+					f.abortIfFaulty(rank, errs[rank])
 				}
 			}()
 			errs[rank] = fn(&Comm{rank: rank, size: size, f: f})
+			if errs[rank] != nil {
+				f.abortIfFaulty(rank, errs[rank])
+			}
 		}(r)
 	}
 	wg.Wait()
-	for _, e := range errs {
-		if e != nil {
-			return f.stats, e
-		}
+	return f.stats, firstError(errs)
+}
+
+// abortIfFaulty propagates a rank failure to all peers when a fault plan is
+// active, so no rank can strand the others mid-collective. Without a plan
+// the legacy behavior (peers may be left waiting by a buggy kernel) stands —
+// the fault layer is strictly pay-for-use.
+func (f *fabric) abortIfFaulty(rank int, err error) {
+	if f.plan == nil {
+		return
 	}
-	return f.stats, nil
+	if fe, ok := err.(*FaultError); ok {
+		f.fs.fail(fe)
+		return
+	}
+	f.fs.fail(&FaultError{Kind: FaultPeerFailed, Rank: rank, Peer: -1, Seed: f.plan.Seed})
+}
+
+// firstError prefers a root-cause failure over propagated FaultPeerFailed
+// errors so callers see the originating fault, not a downstream echo.
+func firstError(errs []error) error {
+	var propagated error
+	for _, e := range errs {
+		if e == nil {
+			continue
+		}
+		if fe, ok := e.(*FaultError); ok && fe.Kind == FaultPeerFailed {
+			if propagated == nil {
+				propagated = e
+			}
+			continue
+		}
+		return e
+	}
+	return propagated
 }
 
 // Send delivers data to rank dst with the given tag. Sends are eager and
@@ -132,6 +207,10 @@ func (c *Comm) Send(dst, tag int, data any) {
 	c.f.stats.record(c.rank, dst, n)
 	if c.f.model != nil {
 		c.simTime += c.f.model.Time(n)
+	}
+	if c.f.plan != nil {
+		c.faultySend(dst, tag, data)
+		return
 	}
 	box := c.f.boxes[dst]
 	box.mu.Lock()
@@ -149,6 +228,9 @@ func (c *Comm) Recv(src, tag int) any {
 // RecvMsg is Recv but returns the full message envelope, exposing the actual
 // source and tag (useful with wildcards).
 func (c *Comm) RecvMsg(src, tag int) Message {
+	if c.f.plan != nil {
+		return c.faultyRecv(src, tag)
+	}
 	box := c.f.boxes[c.rank]
 	box.mu.Lock()
 	defer box.mu.Unlock()
@@ -167,13 +249,22 @@ func (c *Comm) RecvMsg(src, tag int) Message {
 }
 
 // Probe reports whether a message matching (src, tag) is waiting, without
-// receiving it.
+// receiving it. Under a fault plan, logically delayed messages also count as
+// waiting (they are guaranteed to surface before any Recv can block).
 func (c *Comm) Probe(src, tag int) bool {
 	box := c.f.boxes[c.rank]
 	box.mu.Lock()
 	defer box.mu.Unlock()
+	match := func(m Message) bool {
+		return (src == AnySource || m.Src == src) && (tag == AnyTag || m.Tag == tag)
+	}
 	for _, m := range box.queue {
-		if (src == AnySource || m.Src == src) && (tag == AnyTag || m.Tag == tag) {
+		if match(m) && !box.seenLocked(m.Src, m.seq) {
+			return true
+		}
+	}
+	for _, h := range box.delayed {
+		if match(h.m) && !box.seenLocked(h.m.Src, h.m.seq) {
 			return true
 		}
 	}

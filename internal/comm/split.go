@@ -59,10 +59,15 @@ func (c *Comm) Split(color, key int) *Comm {
 			boxes: make([]*mailbox, len(group)),
 			stats: newStats(len(group)),
 			model: c.f.model,
+			plan:  c.f.plan,
+			fs:    c.f.fs,
 		}
 		for i := range f.boxes {
 			f.boxes[i] = newMailbox()
 		}
+		// Sub-communicator mailboxes join the session abort latch so a fault
+		// anywhere wakes receivers blocked on subgroup traffic too.
+		f.fs.register(f.boxes)
 		for _, e := range group {
 			if e.rank != c.rank {
 				c.Send(e.rank, tag, f)

@@ -95,6 +95,116 @@ func TestSplitSingletons(t *testing.T) {
 	}
 }
 
+func TestSplitAllOptOut(t *testing.T) {
+	// Every rank passes a negative color: no subgroups form, every rank
+	// gets nil, and the parent communicator stays fully functional.
+	err := Run(4, func(c *Comm) error {
+		sub := c.Split(-1-c.Rank(), 0)
+		if sub != nil {
+			return fmt.Errorf("rank %d got a subcomm from an all-negative split", c.Rank())
+		}
+		if got := AllreduceScalar(c, 1, OpSum); got != 4 {
+			return fmt.Errorf("parent allreduce after empty split: %d", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitSparseColors(t *testing.T) {
+	// Colors with gaps (0 and 7) must form exactly two groups; the unused
+	// color values in between create no phantom groups or misnumbering.
+	err := Run(5, func(c *Comm) error {
+		color := 0
+		if c.Rank() >= 3 {
+			color = 7
+		}
+		sub := c.Split(color, 0)
+		wantSize := 3
+		if color == 7 {
+			wantSize = 2
+		}
+		if sub == nil || sub.Size() != wantSize {
+			return fmt.Errorf("rank %d color %d: sub %v, want size %d", c.Rank(), color, sub, wantSize)
+		}
+		// Subgroup-local collective sums old ranks of the group only.
+		got := AllreduceScalar(sub, c.Rank(), OpSum)
+		want := 0 + 1 + 2
+		if color == 7 {
+			want = 3 + 4
+		}
+		if got != want {
+			return fmt.Errorf("group %d sum %d want %d", color, got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitSingleRankCollectives(t *testing.T) {
+	// A single-rank subcommunicator must support the full collective
+	// surface, including a further Split of itself.
+	err := Run(3, func(c *Comm) error {
+		sub := c.Split(c.Rank(), 99)
+		if sub.Size() != 1 || sub.Rank() != 0 {
+			return fmt.Errorf("singleton: size %d rank %d", sub.Size(), sub.Rank())
+		}
+		sub.Barrier()
+		buf := []float64{float64(c.Rank())}
+		Bcast(sub, 0, buf)
+		if got := Gather(sub, 0, buf); len(got) != 1 || got[0][0] != buf[0] {
+			return fmt.Errorf("singleton gather: %v", got)
+		}
+		if got := Alltoall(sub, [][]float64{{1, 2}}); len(got[0]) != 2 {
+			return fmt.Errorf("singleton alltoall: %v", got)
+		}
+		subsub := sub.Split(0, 0)
+		if subsub == nil || subsub.Size() != 1 {
+			return fmt.Errorf("split of singleton failed: %v", subsub)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitStatsAttribution(t *testing.T) {
+	// Sub-communicator traffic is attributed to the subcomm's own stats,
+	// per pair in subgroup rank space, and parent traffic never leaks in.
+	err := Run(4, func(c *Comm) error {
+		// Parent noise before the split.
+		AllreduceScalar(c, 1, OpSum)
+		sub := c.Split(c.Rank()/2, 0)
+		if c.Rank()%2 == 0 {
+			sub.Send(1, 5, make([]float64, 100))
+		} else {
+			sub.Recv(0, 5)
+		}
+		sub.Barrier()
+		snap := sub.Stats()
+		if snap.Size != 2 {
+			return fmt.Errorf("sub stats size %d, want 2", snap.Size)
+		}
+		if got := snap.ByteCount(0, 1); got < 800 {
+			return fmt.Errorf("sub stats missed subgroup payload: %d bytes 0->1", got)
+		}
+		// All subgroup traffic lives strictly inside the 2x2 matrix, and
+		// the payload message is exactly one logical send.
+		if snap.TotalBytes() < 800 || snap.MsgCount(0, 1) < 1 {
+			return fmt.Errorf("sub stats inconsistent: %v", snap)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSplitTrafficIsolated(t *testing.T) {
 	// Subgroup traffic must not appear in the parent's statistics.
 	stats, err := RunStats(4, func(c *Comm) error {

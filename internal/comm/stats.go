@@ -7,14 +7,44 @@ import (
 	"sync"
 )
 
-// Stats accumulates per-pair message and byte counts for a communicator.
-// It is shared by all ranks and guarded by a mutex; the simulation favors
-// accuracy over throughput here.
+// FaultCounts tallies the perturbations the fault-injection layer applied
+// (and the failures it raised) on one communicator. All counters are zero
+// without a fault plan, so experiment reports can always print them
+// alongside traffic.
+type FaultCounts struct {
+	Delayed      int64 // messages logically delayed in the destination mailbox
+	Dropped      int64 // delivery attempts dropped (each triggers a retransmit)
+	Retries      int64 // retransmit attempts performed after drops
+	DropFailures int64 // messages that exhausted their retransmit budget
+	Duplicated   int64 // messages delivered twice
+	Deduped      int64 // duplicate deliveries discarded by receivers
+	Reordered    int64 // messages spliced out of order into a mailbox
+	Crashes      int64 // planned rank crashes fired
+	Timeouts     int64 // Recv watchdog expiries
+}
+
+// Any reports whether any perturbation or failure was recorded.
+func (fc FaultCounts) Any() bool {
+	return fc != FaultCounts{}
+}
+
+func (fc FaultCounts) String() string {
+	return fmt.Sprintf("delayed=%d dropped=%d retries=%d dropfail=%d dup=%d dedup=%d reorder=%d crash=%d timeout=%d",
+		fc.Delayed, fc.Dropped, fc.Retries, fc.DropFailures, fc.Duplicated, fc.Deduped, fc.Reordered, fc.Crashes, fc.Timeouts)
+}
+
+// Stats accumulates per-pair message and byte counts for a communicator,
+// plus the fault layer's perturbation counters. It is shared by all ranks
+// and guarded by a mutex; the simulation favors accuracy over throughput
+// here. Per-pair matrices count logical messages (one per Send call):
+// retransmits and duplicates appear in the fault counters, not the traffic
+// matrices, so golden matrices stay comparable across fault plans.
 type Stats struct {
-	mu    sync.Mutex
-	size  int
-	msgs  []int64 // size*size, row-major [src*size+dst]
-	bytes []int64
+	mu     sync.Mutex
+	size   int
+	msgs   []int64 // size*size, row-major [src*size+dst]
+	bytes  []int64
+	faults FaultCounts
 }
 
 func newStats(size int) *Stats {
@@ -32,25 +62,41 @@ func (s *Stats) record(src, dst int, n int64) {
 	s.mu.Unlock()
 }
 
+// addFault applies one mutation to the fault counters under the lock, so
+// fault accounting stays consistent with concurrent record/snapshot/reset.
+func (s *Stats) addFault(mut func(*FaultCounts)) {
+	s.mu.Lock()
+	mut(&s.faults)
+	s.mu.Unlock()
+}
+
+// reset zeroes every counter — traffic matrices and fault counters — in one
+// critical section, so a concurrent record during an in-flight collective
+// can never observe (or survive into) a half-cleared state.
 func (s *Stats) reset() {
 	s.mu.Lock()
 	for i := range s.msgs {
 		s.msgs[i] = 0
 		s.bytes[i] = 0
 	}
+	s.faults = FaultCounts{}
 	s.mu.Unlock()
 }
 
 // Snapshot returns an immutable copy of the current counters.
 func (s *Stats) Snapshot() StatsSnapshot { return s.snapshot() }
 
+// snapshot copies every counter under a single acquisition of the lock:
+// the returned snapshot is a consistent cut even while other ranks are
+// mid-collective and still recording.
 func (s *Stats) snapshot() StatsSnapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	snap := StatsSnapshot{
-		Size:  s.size,
-		Msgs:  make([]int64, len(s.msgs)),
-		Bytes: make([]int64, len(s.bytes)),
+		Size:   s.size,
+		Msgs:   make([]int64, len(s.msgs)),
+		Bytes:  make([]int64, len(s.bytes)),
+		Faults: s.faults,
 	}
 	copy(snap.Msgs, s.msgs)
 	copy(snap.Bytes, s.bytes)
@@ -59,9 +105,10 @@ func (s *Stats) snapshot() StatsSnapshot {
 
 // StatsSnapshot is an immutable copy of communicator traffic counters.
 type StatsSnapshot struct {
-	Size  int
-	Msgs  []int64 // [src*Size+dst]
-	Bytes []int64
+	Size   int
+	Msgs   []int64 // [src*Size+dst]
+	Bytes  []int64
+	Faults FaultCounts
 }
 
 // MsgCount returns the number of messages sent from src to dst.
@@ -126,6 +173,21 @@ func (s StatsSnapshot) WorkerBytes() int64 {
 		}
 	}
 	return t
+}
+
+// MsgMatrixString renders the per-pair message-count matrix, one row per
+// source rank — the stable shape the golden collective tests diff against.
+func (s StatsSnapshot) MsgMatrixString() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "messages (%d ranks):\n", s.Size)
+	for src := 0; src < s.Size; src++ {
+		fmt.Fprintf(&b, "  rank %2d:", src)
+		for dst := 0; dst < s.Size; dst++ {
+			fmt.Fprintf(&b, " %4d", s.Msgs[src*s.Size+dst])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
 }
 
 // String renders the byte matrix, one row per source rank.

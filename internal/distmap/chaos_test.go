@@ -1,0 +1,60 @@
+package distmap_test
+
+// Chaos conformance of distributed map construction: the ownership-census
+// pattern (each rank contributes its owned globals, the full table is
+// rebuilt collectively) must survive comm-fabric perturbation bitwise or
+// fail with a typed comm.FaultError.
+
+import (
+	"fmt"
+	"testing"
+
+	"odinhpc/internal/comm"
+	"odinhpc/internal/comm/chaostest"
+	"odinhpc/internal/distmap"
+)
+
+func TestChaosOwnershipCensus(t *testing.T) {
+	const n = 41
+	kernels := []chaostest.Kernel{
+		{Name: "census-cyclic", Body: func(c *comm.Comm) (any, error) {
+			base := distmap.NewCyclic(n, c.Size())
+			lists := comm.Allgather(c, base.GlobalsOn(c.Rank()))
+			rebuilt := distmap.NewFromGlobalLists(n, lists)
+			if !rebuilt.SameAs(base) {
+				return nil, fmt.Errorf("rebuilt map differs from cyclic source")
+			}
+			total := comm.AllreduceScalar(c, rebuilt.LocalCount(c.Rank()), comm.OpSum)
+			if total != n {
+				return nil, fmt.Errorf("census counted %d globals, want %d", total, n)
+			}
+			return rebuilt.OwnersTable(), nil
+		}},
+		{Name: "census-blockcyclic-restrict", Body: func(c *comm.Comm) (any, error) {
+			base := distmap.NewBlockCyclic(n, c.Size(), 3)
+			// Exchange per-rank counts over the wire and cross-check them
+			// against the map's own bookkeeping.
+			counts := comm.AllgatherFlat(c, []int{base.LocalCount(c.Rank())})
+			for r, cnt := range counts {
+				if cnt != base.LocalCount(r) {
+					return nil, fmt.Errorf("rank %d count %d, map says %d", r, cnt, base.LocalCount(r))
+				}
+			}
+			keep := make([]int, 0, n/2)
+			for g := 0; g < n; g += 2 {
+				keep = append(keep, g)
+			}
+			sub := base.Restrict(keep)
+			if err := sub.SortedGlobalsCheck(); err != nil {
+				return nil, err
+			}
+			// One roundtrip through the fabric for the restricted table too.
+			table := comm.BcastScalar(c, 0, sub.NumGlobal())
+			if table != len(keep) {
+				return nil, fmt.Errorf("restricted size %d, want %d", table, len(keep))
+			}
+			return append(sub.OwnersTable(), counts...), nil
+		}},
+	}
+	chaostest.Run(t, []int{1, 2, 4}, 2025, kernels...)
+}

@@ -1,0 +1,46 @@
+package slicing
+
+// Chaos conformance of the distributed slicing kernels: the general
+// alltoall Slice path, the neighbor-halo ShiftDiff path, and Shift. Each
+// must reproduce its fault-free result bitwise under perturbation or fail
+// with a typed comm.FaultError.
+
+import (
+	"testing"
+
+	"odinhpc/internal/comm"
+	"odinhpc/internal/comm/chaostest"
+	"odinhpc/internal/core"
+	"odinhpc/internal/dense"
+)
+
+func TestChaosSlicingKernels(t *testing.T) {
+	const n = 33
+	mk := func(c *comm.Comm) *core.DistArray[float64] {
+		ctx := core.NewContext(c)
+		return core.FromFunc(ctx, []int{n}, func(g []int) float64 {
+			return float64(g[0]*g[0])*0.5 - float64(3*g[0])
+		})
+	}
+	kernels := []chaostest.Kernel{
+		{Name: "slice-general", Body: func(c *comm.Comm) (any, error) {
+			x := mk(c)
+			strided := Slice(x, dense.Range{Start: 1, Stop: n, Step: 3})
+			rev := Slice(x, dense.Range{Start: n - 1, Stop: -1, Step: -2})
+			return append(strided.Gather().Flatten(), rev.Gather().Flatten()...), nil
+		}},
+		{Name: "shiftdiff-halo", Body: func(c *comm.Comm) (any, error) {
+			x := mk(c)
+			d1 := Diff(x)
+			d2 := ShiftDiff(x, 2)
+			return append(d1.Gather().Flatten(), d2.Gather().Flatten()...), nil
+		}},
+		{Name: "shift", Body: func(c *comm.Comm) (any, error) {
+			x := mk(c)
+			fwd := Shift(x, 1, -7)
+			back := Shift(x, -3, 99)
+			return append(fwd.Gather().Flatten(), back.Gather().Flatten()...), nil
+		}},
+	}
+	chaostest.Run(t, []int{1, 2, 4}, 4242, kernels...)
+}

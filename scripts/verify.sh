@@ -13,3 +13,8 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race ./internal/comm ./internal/core ./internal/exec
+
+# Chaos conformance: replay collectives and distributed kernels under seeded
+# fault plans, twice, under the race detector — results must be bitwise
+# identical to fault-free runs or fail with a typed comm.FaultError.
+go test -race -count=2 -run Chaos ./internal/comm/... ./internal/tpetra ./internal/distmap ./internal/slicing ./internal/solvers
