@@ -156,6 +156,81 @@ func TestChaosCrashNeverHangs(t *testing.T) {
 	}
 }
 
+// TestChaosRecvTimeoutWatchdog pins the last-resort Recv watchdog: a rank
+// waiting on a message that is never sent must surface a typed FaultTimeout
+// within the watchdog bound. This is also the regression test for a
+// self-deadlock where faultyRecv latched the session failure while still
+// holding its own mailbox lock (which fail() then tried to take), turning
+// every timeout into the very hang the watchdog exists to prevent.
+func TestChaosRecvTimeoutWatchdog(t *testing.T) {
+	for _, size := range []int{1, 2, 4} {
+		plan := &comm.FaultPlan{Seed: 11, RecvTimeout: 300 * time.Millisecond}
+		done := make(chan error, 1)
+		go func() {
+			_, err := comm.RunConfig(size, comm.Config{Faults: plan}, func(c *comm.Comm) error {
+				// Tag 404 is never sent by anyone: the first watchdog to
+				// expire aborts the session and the abort latch wakes the
+				// remaining ranks — a typed error everywhere, never a hang.
+				c.Recv(comm.AnySource, 404)
+				return nil
+			})
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			var fe *comm.FaultError
+			if !errorsAs(err, &fe) {
+				t.Fatalf("P=%d: err = %v, want FaultError", size, err)
+			}
+			if fe.Kind != comm.FaultTimeout {
+				t.Fatalf("P=%d: root fault kind = %v, want timeout", size, fe.Kind)
+			}
+		case <-chaosTimeout():
+			t.Fatalf("P=%d: Recv watchdog deadlocked instead of surfacing FaultTimeout", size)
+		}
+	}
+}
+
+// TestChaosRecvTimeoutWakesPeers checks the propagation half of the watchdog
+// contract: when one rank's watchdog expires, the session abort must wake
+// peers that are blocked waiting on messages from the stuck rank, and the
+// root cause reported to the caller must be the originating timeout.
+func TestChaosRecvTimeoutWakesPeers(t *testing.T) {
+	const size = 4
+	plan := &comm.FaultPlan{Seed: 5, RecvTimeout: 300 * time.Millisecond}
+	type outcome struct {
+		stats comm.StatsSnapshot
+		err   error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		stats, err := comm.RunConfig(size, comm.Config{Faults: plan}, func(c *comm.Comm) error {
+			if c.Rank() == size-1 {
+				c.Recv(comm.AnySource, 404) // never sent: watchdog must fire
+			} else {
+				c.Recv(size-1, 7) // blocked on the stuck rank: latch must wake it
+			}
+			return nil
+		})
+		done <- outcome{stats: stats.Snapshot(), err: err}
+	}()
+	select {
+	case out := <-done:
+		var fe *comm.FaultError
+		if !errorsAs(out.err, &fe) {
+			t.Fatalf("err = %v, want FaultError", out.err)
+		}
+		if fe.Kind != comm.FaultTimeout {
+			t.Fatalf("root fault kind = %v, want timeout", fe.Kind)
+		}
+		if out.stats.Faults.Timeouts < 1 {
+			t.Fatalf("Timeouts counter = %d, want >= 1 (%v)", out.stats.Faults.Timeouts, out.stats.Faults)
+		}
+	case <-chaosTimeout():
+		t.Fatalf("watchdog expiry stranded the peers instead of aborting the session")
+	}
+}
+
 // TestChaosDropLimitSurfacesTyped drives the retransmit budget to
 // exhaustion and checks the typed error reaches the caller.
 func TestChaosDropLimitSurfacesTyped(t *testing.T) {

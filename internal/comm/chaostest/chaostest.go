@@ -45,7 +45,11 @@ const Watchdog = 30 * time.Second
 // Plans returns the deterministic conformance matrix for a communicator of
 // the given size, every plan seeded from seed. The matrix covers each fault
 // dimension alone, a crash, an unsurvivable drop storm, and a combined
-// storm.
+// storm. Every plan leaves RecvTimeout at its 10-second default — well below
+// Watchdog — so a kernel a plan manages to wedge fails with a typed
+// FaultTimeout before the harness declares a hang; the watchdog's own firing
+// path (which no well-formed kernel can reach) is pinned separately by the
+// TestChaosRecvTimeout* regression tests in package comm.
 func Plans(seed int64, size int) []Case {
 	slow := map[int]time.Duration{0: 50 * time.Microsecond}
 	if size > 1 {

@@ -412,6 +412,10 @@ func (c *Comm) faultySend(dst, tag int, data any) {
 	reorder := uint64(0)
 	if chance(p.ReorderProb, p.roll(rollReorder, c.rank, dst, tag, seq, 0)) {
 		reorder = p.roll(rollReorder, c.rank, dst, tag, seq, 1)
+		// Reordered tallies the roll, not the eventual splice: whether
+		// deliverFault actually inserts before an existing entry depends on
+		// queue occupancy at delivery time, which is schedule-dependent,
+		// and FaultCounts must stay reproducible from the seed alone.
 		c.f.stats.addFault(func(fc *FaultCounts) { fc.Reordered++ })
 	}
 	box := c.f.boxes[dst]
@@ -583,7 +587,13 @@ func (c *Comm) faultyRecv(src, tag int) Message {
 		if time.Now().After(deadline) {
 			ferr := &FaultError{Kind: FaultTimeout, Rank: c.rank, Peer: src, Tag: tag, Seed: p.Seed}
 			c.f.stats.addFault(func(fc *FaultCounts) { fc.Timeouts++ })
+			// fail locks every registered mailbox — including this rank's
+			// own — as its wakeup barrier, so the mailbox lock must be
+			// dropped first or the watchdog self-deadlocks. The relock keeps
+			// the deferred unlock balanced while the panic unwinds.
+			box.mu.Unlock()
 			c.f.fs.fail(ferr)
+			box.mu.Lock()
 			panic(ferr)
 		}
 		waitWithWakeup(box, 10*time.Millisecond)

@@ -18,7 +18,13 @@ type FaultCounts struct {
 	DropFailures int64 // messages that exhausted their retransmit budget
 	Duplicated   int64 // messages delivered twice
 	Deduped      int64 // duplicate deliveries discarded by receivers
-	Reordered    int64 // messages spliced out of order into a mailbox
+	// Reordered counts reorder rolls fired (an out-of-order insertion was
+	// requested for the message), not actual queue splices: a roll only
+	// results in a splice when the destination queue is non-empty at
+	// delivery time and the chosen slot is not the tail, both of which
+	// depend on goroutine scheduling. Counting rolls keeps the counter a
+	// pure function of the plan seed, like every other FaultCounts field.
+	Reordered int64
 	Crashes      int64 // planned rank crashes fired
 	Timeouts     int64 // Recv watchdog expiries
 }
