@@ -550,3 +550,42 @@ func BenchmarkExecScaling(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkFusionVM sweeps the register VM's block size against expression
+// depth. Each depth level appends one fused multiply-add (e = e*y + x), so
+// the instruction count grows linearly with depth while the traffic stays
+// one output stream — deeper expressions are where compiled block execution
+// beats the per-element closure tree hardest. Small blocks expose per-block
+// dispatch overhead; huge blocks spill the scratch registers out of L1/L2.
+// Results are recorded in BENCH_fusion.json and discussed in EXPERIMENTS.md
+// E12. The closure-path baseline for the same host is the fused-hypot
+// threads=1 row of BENCH_exec.json.
+func BenchmarkFusionVM(b *testing.B) {
+	const n = 1 << 20
+	for _, depth := range []int{1, 4, 16} {
+		for _, block := range []int{256, 1024, 4096, 16384} {
+			b.Run(fmt.Sprintf("depth=%d/block=%d", depth, block), func(b *testing.B) {
+				oldBlock := fusion.SetBlockSize(block)
+				defer fusion.SetBlockSize(oldBlock)
+				err := comm.Run(1, func(c *comm.Comm) error {
+					ctx := core.NewContext(c)
+					x := core.FromFunc(ctx, []int{n}, func(g []int) float64 { return float64(g[0]) / n })
+					y := core.FromFunc(ctx, []int{n}, func(g []int) float64 { return 1 - float64(g[0])/n })
+					e := fusion.Var(x)
+					for d := 0; d < depth; d++ {
+						e = e.Mul(fusion.Var(y)).Add(fusion.Var(x))
+					}
+					b.SetBytes(8 * n)
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						_ = fusion.Eval(e)
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+}

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	solverbench [-threads N] [-faults SPEC] <e1|e2|...|e11|all>
+//	solverbench [-threads N] [-faults SPEC] <e1|e2|...|e12|all>
 //
 // -threads sets the intra-rank worker-pool size of the exec engine, so ODIN
 // experiments can sweep per-rank goroutine parallelism (the intra-rank
@@ -42,6 +42,7 @@ var experiments = []struct {
 	{"e9", "Table I feature parity", e9},
 	{"e10", "master is not a bottleneck (paper Fig. 1)", e10},
 	{"e11", "fault sweep: CG under comm-fabric perturbation", e11},
+	{"e12", "fusion register VM: block sweep and plan cache", e12},
 }
 
 func main() {

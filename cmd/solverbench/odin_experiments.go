@@ -317,3 +317,80 @@ func e10() error {
 	fmt.Println("             five orders of magnitude below the array size they steer.")
 	return nil
 }
+
+// e12 profiles the register-VM fusion engine: a block-size sweep over the
+// fused hypot kernel, and the plan cache turning an iterative solver's
+// rebuild-the-expression-every-iteration pattern into compile-once.
+func e12() error {
+	const n = 2_000_000
+	const p = 4
+
+	// Part 1: block-size sweep. The scratch registers must fit in cache;
+	// too-small blocks pay per-block dispatch, too-large blocks spill.
+	fmt.Printf("%-10s %12s %12s\n", "block", "fused ms", "MB/s")
+	defBlock := fusion.BlockSize()
+	for _, block := range []int{256, 1024, 4096, 16384} {
+		fusion.SetBlockSize(block)
+		var ms float64
+		err := comm.Run(p, func(c *comm.Comm) error {
+			ctx := core.NewContext(c)
+			ctx.SetControlMessages(false)
+			x := core.Random(ctx, []int{n}, 1)
+			y := core.Random(ctx, []int{n}, 2)
+			e := fusion.Sqrt(fusion.Var(x).Square().Add(fusion.Var(y).Square()))
+			_ = fusion.Eval(e) // warm-up (and compile)
+			c.Barrier()
+			start := time.Now()
+			_ = fusion.Eval(e)
+			c.Barrier()
+			if c.Rank() == 0 {
+				ms = float64(time.Since(start).Microseconds()) / 1000
+			}
+			return nil
+		})
+		if err != nil {
+			fusion.SetBlockSize(defBlock)
+			return err
+		}
+		mark := ""
+		if block == defBlock {
+			mark = "  (default)"
+		}
+		fmt.Printf("%-10d %12.2f %12.1f%s\n", block, ms, float64(8*n)/ms/1000, mark)
+	}
+	fusion.SetBlockSize(defBlock)
+
+	// Part 2: the plan cache. An iterative method rebuilds its update
+	// expression every iteration; structural hashing makes every rebuild
+	// after the first a cache hit, so compilation cost is paid once.
+	const iters = 200
+	var instrs, regs int
+	var prog string
+	var hits, misses int64
+	err := comm.Run(1, func(c *comm.Comm) error {
+		ctx := core.NewContext(c)
+		x := core.Random(ctx, []int{1 << 16}, 1)
+		y := core.Random(ctx, []int{1 << 16}, 2)
+		fusion.ResetPlanCache()
+		for i := 0; i < iters; i++ {
+			// Fresh Expr nodes each iteration, same structure.
+			e := fusion.Sqrt(fusion.Var(x).Square().Add(fusion.Var(y).Square()))
+			plan := fusion.Analyze(e)
+			if i == 0 {
+				instrs, regs = plan.Program()
+				prog = plan.ProgramString()
+			}
+			_ = plan.Execute()
+		}
+		hits, misses = fusion.PlanCacheStats()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ncompiled hypot program (%d instrs, %d scratch registers):\n%s", instrs, regs, prog)
+	fmt.Printf("plan cache over %d rebuilt expressions: %d hits, %d misses\n", iters, hits, misses)
+	fmt.Println("claim check: block 1024 (8 KiB/register) is the cache sweet spot, and")
+	fmt.Println("             rebuilt expressions compile once via structural hashing.")
+	return nil
+}

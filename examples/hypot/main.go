@@ -44,8 +44,13 @@ func main() {
 		// 2. Global mode: "the computation could be performed at the global
 		//    level with the arrays x and y" (paper, same section).
 		hGlobal := ufunc.Hypot(x, y)
-		// 3. Fused expression mode.
-		hFused := fusion.Eval(fusion.Sqrt(fusion.Var(x).Square().Add(fusion.Var(y).Square())))
+		// 3. Fused expression mode: the expression DAG is compiled to a
+		// register program and run block-by-block.
+		plan := fusion.Analyze(fusion.Sqrt(fusion.Var(x).Square().Add(fusion.Var(y).Square())))
+		if c.Rank() == 0 {
+			fmt.Print(plan.ProgramString())
+		}
+		hFused := plan.Execute()
 
 		okLG := ufunc.AllClose(hLocal, hGlobal, 1e-14, 1e-14)
 		okLF := ufunc.AllClose(hLocal, hFused, 1e-14, 1e-14)

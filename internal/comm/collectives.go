@@ -299,12 +299,22 @@ func ExclusiveScanScalar[T Number](c *Comm, v T, op Op) T {
 	case OpSum:
 		return inc - v
 	case OpProd:
-		if v != 0 {
-			return inc / v
+		// Dividing inc by v breaks on zeros (and rounds differently from
+		// the true lower-rank product) — and any data-dependent branch
+		// here would diverge the communication pattern across ranks and
+		// deadlock. Products therefore always use the shifted chain, with
+		// rank 0 receiving the multiplicative identity.
+		seq := c.nextColl()
+		if c.rank < c.size-1 {
+			c.Send(c.rank+1, collTag(seq, 0), []T{inc})
 		}
-		panic("comm: ExclusiveScanScalar(OpProd) with zero value")
+		if c.rank == 0 {
+			var one T = 1
+			return one
+		}
+		return c.Recv(c.rank-1, collTag(seq, 0)).([]T)[0]
 	default:
-		// No inverse; rerun as a shifted chain.
+		// Min/max have no inverse; rerun as a shifted chain.
 		seq := c.nextColl()
 		if c.rank < c.size-1 {
 			c.Send(c.rank+1, collTag(seq, 0), []T{inc})

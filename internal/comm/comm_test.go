@@ -470,6 +470,52 @@ func TestExclusiveScanScalar(t *testing.T) {
 	}
 }
 
+func TestExclusiveScanScalarProd(t *testing.T) {
+	// All non-zero: exclusive products are the exact lower-rank chain.
+	err := Run(4, func(c *Comm) error {
+		vals := []float64{3, 5, 7, 11}
+		got := ExclusiveScanScalar(c, vals[c.Rank()], OpProd)
+		want := []float64{1, 3, 15, 105}[c.Rank()]
+		if got != want {
+			return fmt.Errorf("rank %d prod got %g want %g", c.Rank(), got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExclusiveScanScalarProdZero(t *testing.T) {
+	// Regression: a zero value used to panic ("with zero value"), and a
+	// data-dependent fallback would deadlock on mixed zero/non-zero input.
+	// The shifted chain handles zeros anywhere, including rank 0.
+	for _, zeroRank := range []int{0, 2} {
+		err := Run(4, func(c *Comm) error {
+			v := float64(c.Rank() + 2)
+			if c.Rank() == zeroRank {
+				v = 0
+			}
+			got := ExclusiveScanScalar(c, v, OpProd)
+			want := 1.0
+			for r := 0; r < c.Rank(); r++ {
+				vr := float64(r + 2)
+				if r == zeroRank {
+					vr = 0
+				}
+				want *= vr
+			}
+			if got != want {
+				return fmt.Errorf("rank %d (zero at %d) got %g want %g", c.Rank(), zeroRank, got, want)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 func TestStatsAccounting(t *testing.T) {
 	stats, err := RunStats(2, func(c *Comm) error {
 		if c.Rank() == 0 {

@@ -1,0 +1,37 @@
+package fusion
+
+// Chaos parity for the fused reduction: SumEval ends in AllreduceScalar
+// (after a control broadcast and, in the misaligned variant, a
+// redistribution), so like every other distributed kernel it must be
+// bitwise identical to its fault-free run under the seeded fault plans or
+// fail with a typed *comm.FaultError. The register accumulator itself is
+// local and deterministic; what this pins is the collective tail.
+
+import (
+	"testing"
+
+	"odinhpc/internal/comm"
+	"odinhpc/internal/comm/chaostest"
+	"odinhpc/internal/core"
+	"odinhpc/internal/distmap"
+)
+
+func TestChaosFusedSumEval(t *testing.T) {
+	const n = 57
+	kernels := []chaostest.Kernel{
+		{Name: "fused-sumeval", Body: func(c *comm.Comm) (any, error) {
+			ctx := core.NewContext(c)
+			x := core.FromFunc(ctx, []int{n}, func(g []int) float64 { return float64(g[0])/8 - 2 })
+			y := core.FromFunc(ctx, []int{n}, func(g []int) float64 { return float64(g[0]%5) + 0.25 })
+			return SumEval(Sqrt(Var(x).Square().Add(Var(y).Square()))), nil
+		}},
+		{Name: "fused-sumeval-redistributed", Body: func(c *comm.Comm) (any, error) {
+			ctx := core.NewContext(c)
+			x := core.FromFunc(ctx, []int{n}, func(g []int) float64 { return float64(g[0]) })
+			y := core.FromFunc(ctx, []int{n}, func(g []int) float64 { return 1 / float64(g[0]+2) },
+				core.Options{Kind: distmap.Cyclic})
+			return SumEval(Var(x).Mul(Var(y)).Add(Const(0.5))), nil
+		}},
+	}
+	chaostest.Run(t, []int{1, 2, 4}, 20260805, kernels...)
+}

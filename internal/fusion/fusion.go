@@ -9,6 +9,12 @@
 // sweep over the local data, allocating exactly one output array.
 // EvalNaive executes the same graph one operation at a time with a
 // temporary per node, which is what experiment E5 compares against.
+//
+// The fused sweep itself runs on a blocked register VM (vm.go): the DAG is
+// lowered once to a linear program over scratch vector registers (with
+// constant folding and CSE), cached by structural identity, and evaluated
+// block by block with tight slice loops — see the "fusion VM" sections of
+// README.md and DESIGN.md.
 package fusion
 
 import (
@@ -30,6 +36,7 @@ type Expr struct {
 	un    func(float64) float64
 	bin   func(float64, float64) float64
 	name  string
+	vop   vmOp // register-VM opcode (vmCallUn/vmCallBin for user closures)
 	args  []*Expr
 }
 
@@ -53,60 +60,75 @@ func Var(x *core.DistArray[float64]) *Expr {
 // Const wraps a scalar constant.
 func Const(v float64) *Expr { return &Expr{kind: kindConst, value: v} }
 
-// Unary builds a custom unary node.
+// Unary builds a custom unary node. The function is opaque to the VM
+// compiler: it is invoked per element (in blocked loops) and disables
+// program caching and structural CSE for the node, since two closures can
+// share a code pointer while capturing different state.
 func Unary(name string, f func(float64) float64, a *Expr) *Expr {
-	return &Expr{kind: kindUnary, un: f, name: name, args: []*Expr{a}}
+	return &Expr{kind: kindUnary, un: f, name: name, vop: vmCallUn, args: []*Expr{a}}
 }
 
-// Binary builds a custom binary node.
+// Binary builds a custom binary node (opaque to the VM, like Unary).
 func Binary(name string, f func(float64, float64) float64, a, b *Expr) *Expr {
-	return &Expr{kind: kindBinary, bin: f, name: name, args: []*Expr{a, b}}
+	return &Expr{kind: kindBinary, bin: f, name: name, vop: vmCallBin, args: []*Expr{a, b}}
+}
+
+// builtinUnary constructs a node the VM compiler recognizes by opcode; f is
+// kept for the closure reference evaluator and for constant folding.
+func builtinUnary(name string, op vmOp, f func(float64) float64, a *Expr) *Expr {
+	return &Expr{kind: kindUnary, un: f, name: name, vop: op, args: []*Expr{a}}
+}
+
+func builtinBinary(name string, op vmOp, f func(float64, float64) float64, a, b *Expr) *Expr {
+	return &Expr{kind: kindBinary, bin: f, name: name, vop: op, args: []*Expr{a, b}}
 }
 
 // Add returns e + o.
 func (e *Expr) Add(o *Expr) *Expr {
-	return Binary("add", func(a, b float64) float64 { return a + b }, e, o)
+	return builtinBinary("add", vmAdd, func(a, b float64) float64 { return a + b }, e, o)
 }
 
 // Sub returns e - o.
 func (e *Expr) Sub(o *Expr) *Expr {
-	return Binary("sub", func(a, b float64) float64 { return a - b }, e, o)
+	return builtinBinary("sub", vmSub, func(a, b float64) float64 { return a - b }, e, o)
 }
 
 // Mul returns e * o.
 func (e *Expr) Mul(o *Expr) *Expr {
-	return Binary("mul", func(a, b float64) float64 { return a * b }, e, o)
+	return builtinBinary("mul", vmMul, func(a, b float64) float64 { return a * b }, e, o)
 }
 
 // Div returns e / o.
 func (e *Expr) Div(o *Expr) *Expr {
-	return Binary("div", func(a, b float64) float64 { return a / b }, e, o)
+	return builtinBinary("div", vmDiv, func(a, b float64) float64 { return a / b }, e, o)
 }
 
 // Square returns e*e as a single unary node (no duplicated subtree walk).
-func (e *Expr) Square() *Expr { return Unary("square", func(v float64) float64 { return v * v }, e) }
+func (e *Expr) Square() *Expr {
+	return builtinUnary("square", vmSquare, func(v float64) float64 { return v * v }, e)
+}
 
 // Sqrt returns sqrt(e).
-func Sqrt(e *Expr) *Expr { return Unary("sqrt", math.Sqrt, e) }
+func Sqrt(e *Expr) *Expr { return builtinUnary("sqrt", vmSqrt, math.Sqrt, e) }
 
 // Sin returns sin(e).
-func Sin(e *Expr) *Expr { return Unary("sin", math.Sin, e) }
+func Sin(e *Expr) *Expr { return builtinUnary("sin", vmSin, math.Sin, e) }
 
 // Cos returns cos(e).
-func Cos(e *Expr) *Expr { return Unary("cos", math.Cos, e) }
+func Cos(e *Expr) *Expr { return builtinUnary("cos", vmCos, math.Cos, e) }
 
 // Exp returns exp(e).
-func Exp(e *Expr) *Expr { return Unary("exp", math.Exp, e) }
+func Exp(e *Expr) *Expr { return builtinUnary("exp", vmExp, math.Exp, e) }
 
 // Abs returns |e|.
-func Abs(e *Expr) *Expr { return Unary("abs", math.Abs, e) }
+func Abs(e *Expr) *Expr { return builtinUnary("abs", vmAbs, math.Abs, e) }
 
 // Neg returns -e.
-func Neg(e *Expr) *Expr { return Unary("neg", func(v float64) float64 { return -v }, e) }
+func Neg(e *Expr) *Expr { return builtinUnary("neg", vmNeg, func(v float64) float64 { return -v }, e) }
 
 // Hypot returns sqrt(a^2 + b^2) — the paper's hypot example as one fused
 // expression.
-func Hypot(a, b *Expr) *Expr { return Binary("hypot", math.Hypot, a, b) }
+func Hypot(a, b *Expr) *Expr { return builtinBinary("hypot", vmHypot, math.Hypot, a, b) }
 
 // Leaves returns the distinct leaf arrays of the expression, in first-visit
 // order.
@@ -161,26 +183,39 @@ func (e *Expr) String() string {
 }
 
 // Plan is the result of analyzing an expression: the aligned leaves, the
-// target distribution (that of the first leaf), and the compiled kernel.
+// target distribution (that of the first leaf), and the compiled register
+// program (cached across structurally equal expressions).
 type Plan struct {
 	model         *core.DistArray[float64]
 	leafData      [][]float64
-	kernel        func(i int) float64
-	Redistributed int // leaves that needed realignment
+	prog          *vmProgram
+	expr          *Expr
+	slotOf        map[*core.DistArray[float64]]int
+	Redistributed int // distinct leaf arrays that needed realignment
 	Ops           int // fused operation nodes
 }
 
+// Program returns the compiled register program's size: the number of
+// vector instructions and the scratch-register pool width.
+func (p *Plan) Program() (instrs, regs int) { return len(p.prog.code), p.prog.nregs }
+
+// ProgramString returns a disassembly of the compiled register program.
+func (p *Plan) ProgramString() string { return p.prog.String() }
+
 // Analyze validates the expression, aligns every leaf with the first leaf's
 // distribution (redistributing where needed — the communication-strategy
-// part of expression analysis), and compiles the fused kernel. Collective
-// when redistribution occurs.
+// part of expression analysis), and compiles the register program (served
+// from the plan cache when a structurally equal expression was compiled
+// before). An array appearing k times in the expression is flattened and
+// aligned once: leaves are deduplicated by identity, and Redistributed
+// counts distinct arrays. Collective when redistribution occurs.
 func Analyze(e *Expr) *Plan {
 	leaves := e.Leaves()
 	if len(leaves) == 0 {
 		panic("fusion: expression has no array leaves")
 	}
 	model := leaves[0]
-	p := &Plan{model: model, Ops: e.CountOps()}
+	p := &Plan{model: model, expr: e, Ops: e.CountOps()}
 	aligned := map[*core.DistArray[float64]]*core.DistArray[float64]{}
 	for _, l := range leaves {
 		if !sameShape(l.Shape(), model.Shape()) {
@@ -196,10 +231,11 @@ func Analyze(e *Expr) *Plan {
 		aligned[l] = core.Redistribute(l, model.Map())
 		p.Redistributed++
 	}
-	// Flatten each aligned leaf once; the kernel indexes these slices.
-	dataOf := map[*core.DistArray[float64]]int{}
+	// Flatten each aligned leaf once; program leaf slot i (first-visit
+	// order, the same numbering Leaves() uses) binds to leafData[i].
+	p.slotOf = map[*core.DistArray[float64]]int{}
 	for _, l := range leaves {
-		dataOf[l] = len(p.leafData)
+		p.slotOf[l] = len(p.leafData)
 		a := aligned[l].Local()
 		if a.IsContiguous() {
 			p.leafData = append(p.leafData, a.Raw())
@@ -207,47 +243,95 @@ func Analyze(e *Expr) *Plan {
 			p.leafData = append(p.leafData, a.Flatten())
 		}
 	}
-	p.kernel = compile(e, p, dataOf)
+	p.prog = compileProgram(e)
 	return p
 }
 
-// compile lowers the expression tree into a closure tree evaluated per
-// element — the fused loop body.
-func compile(e *Expr, p *Plan, dataOf map[*core.DistArray[float64]]int) func(int) float64 {
+// compileClosure lowers the expression tree into a closure tree evaluated
+// per element — the pre-VM fused loop body, kept as the internal reference
+// evaluator that the register VM is property-tested against (results must
+// agree bitwise for element-wise programs).
+func compileClosure(e *Expr, p *Plan) func(int) float64 {
 	switch e.kind {
 	case kindLeaf:
-		data := p.leafData[dataOf[e.leaf]]
+		data := p.leafData[p.slotOf[e.leaf]]
 		return func(i int) float64 { return data[i] }
 	case kindConst:
 		v := e.value
 		return func(int) float64 { return v }
 	case kindUnary:
 		f := e.un
-		arg := compile(e.args[0], p, dataOf)
+		arg := compileClosure(e.args[0], p)
 		return func(i int) float64 { return f(arg(i)) }
 	default:
 		f := e.bin
-		a := compile(e.args[0], p, dataOf)
-		b := compile(e.args[1], p, dataOf)
+		a := compileClosure(e.args[0], p)
+		b := compileClosure(e.args[1], p)
 		return func(i int) float64 { return f(a(i), b(i)) }
 	}
 }
 
-// Execute runs the fused kernel, producing the result array in one sweep.
-// The sweep is chunked over the exec engine, so the fused expression gets
-// intra-rank parallelism on top of the rank parallelism of the leaves'
-// distribution — each element is computed independently from the flattened
-// leaf slices.
+// Execute runs the compiled register program over cache-sized blocks,
+// producing the result array in one sweep. The block sweep is chunked over
+// the exec engine, so the fused expression gets intra-rank parallelism on
+// top of the rank parallelism of the leaves' distribution; every worker
+// evaluates with private scratch registers, and the final instruction of
+// each block writes directly into the output.
 func (p *Plan) Execute() *core.DistArray[float64] {
 	n := p.model.Local().Size()
 	out := make([]float64, n)
-	kernel := p.kernel
+	prog, leaves := p.prog, p.leafData
+	block := BlockSize()
+	exec.Default().ParallelFor(n, func(lo, hi int) {
+		st := prog.getState(block)
+		prog.runSpan(st, leaves, out, lo, hi)
+		prog.putState(st)
+	})
+	return p.model.WithLocal(dense.FromSlice(out, p.model.Local().Shape()...))
+}
+
+// executeClosure is Execute on the closure reference evaluator.
+func (p *Plan) executeClosure() *core.DistArray[float64] {
+	n := p.model.Local().Size()
+	out := make([]float64, n)
+	kernel := compileClosure(p.expr, p)
 	exec.Default().ParallelFor(n, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			out[i] = kernel(i)
 		}
 	})
 	return p.model.WithLocal(dense.FromSlice(out, p.model.Local().Shape()...))
+}
+
+// sumLocal folds the expression over the local elements with the register
+// accumulator: each exec chunk runs the block program and adds the result
+// blocks left-to-right, which is element-for-element the same association
+// as the closure kernel's serial fold over that chunk.
+func (p *Plan) sumLocal() float64 {
+	n := p.model.Local().Size()
+	prog, leaves := p.prog, p.leafData
+	block := BlockSize()
+	return exec.ParallelReduce(exec.Default(), n, func(lo, hi int) float64 {
+		if hi <= lo {
+			return 0
+		}
+		st := prog.getState(block)
+		defer prog.putState(st)
+		return prog.sumSpan(st, leaves, lo, hi)
+	}, func(a, b float64) float64 { return a + b })
+}
+
+// sumLocalClosure is sumLocal on the closure reference evaluator.
+func (p *Plan) sumLocalClosure() float64 {
+	n := p.model.Local().Size()
+	kernel := compileClosure(p.expr, p)
+	return exec.ParallelReduce(exec.Default(), n, func(lo, hi int) float64 {
+		var acc float64
+		for i := lo; i < hi; i++ {
+			acc += kernel(i)
+		}
+		return acc
+	}, func(a, b float64) float64 { return a + b })
 }
 
 // Eval analyzes and executes the expression with loop fusion: one control
@@ -268,7 +352,10 @@ func Eval(e *Expr) *core.DistArray[float64] {
 
 // SumEval evaluates the expression and reduces it to its global sum in the
 // same fused sweep: no output array is materialized at all (reduction
-// fusion, the natural extension of the paper's loop fusion). Collective.
+// fusion, the natural extension of the paper's loop fusion). The reduction
+// runs the same block program as Eval with a register accumulator, so the
+// local fold is bitwise identical to the closure evaluator's at every pool
+// size. Collective.
 func SumEval(e *Expr) float64 {
 	leaves := e.Leaves()
 	if len(leaves) == 0 {
@@ -279,17 +366,7 @@ func SumEval(e *Expr) float64 {
 	saved := ctx.ControlMessagesEnabled()
 	ctx.SetControlMessages(false)
 	defer ctx.SetControlMessages(saved)
-	p := Analyze(e)
-	n := p.model.Local().Size()
-	kernel := p.kernel
-	local := exec.ParallelReduce(exec.Default(), n, func(lo, hi int) float64 {
-		var acc float64
-		for i := lo; i < hi; i++ {
-			acc += kernel(i)
-		}
-		return acc
-	}, func(a, b float64) float64 { return a + b })
-	return comm.AllreduceScalar(ctx.Comm(), local, comm.OpSum)
+	return comm.AllreduceScalar(ctx.Comm(), Analyze(e).sumLocal(), comm.OpSum)
 }
 
 // EvalNaive executes the expression one node at a time, materializing a

@@ -1,0 +1,554 @@
+// The fusion register VM: a NumExpr-style blocked virtual machine that
+// replaces the per-element closure tree as the execution engine behind
+// Eval/SumEval.
+//
+// compileProgram lowers the Expr DAG into a linear sequence of vector
+// instructions over a small pool of scratch registers, with constant
+// folding and common-subexpression elimination at compile time. Each
+// instruction is then evaluated as one tight slice loop over a cache-sized
+// block (internal/dense vec ops), so the per-element cost is a real float
+// op, not an indirect closure call per DAG node. Element-wise results are
+// bitwise identical to the closure evaluator: every opcode body performs
+// exactly the float64 operations the corresponding closure performed, in
+// the same per-element order, and block boundaries never change what is
+// computed — only how many elements one dispatch covers.
+//
+// Programs for expressions built purely from the named constructors
+// (Add/Mul/Sqrt/...) are cached under a structural serialization of the
+// DAG, so solver loops that rebuild the same expression every iteration
+// compile once. Expressions containing user closures (Unary/Binary) are
+// never cached: two closures can share a code pointer while capturing
+// different state, so identity of behavior cannot be established at
+// compile time.
+package fusion
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"odinhpc/internal/core"
+	"odinhpc/internal/dense"
+)
+
+// vmOp is a register-VM opcode. The named opcodes get dedicated slice
+// loops; vmCallUn/vmCallBin invoke an arbitrary user function per element
+// (still blocked, so the loop overhead around the call is amortized).
+type vmOp uint8
+
+const (
+	vmCopy vmOp = iota // dst = a (root-is-a-leaf programs)
+	vmAdd
+	vmSub
+	vmMul
+	vmDiv
+	vmSquare
+	vmSqrt
+	vmNeg
+	vmAbs
+	vmSin
+	vmCos
+	vmExp
+	vmHypot
+	vmCallUn
+	vmCallBin
+)
+
+var vmOpNames = [...]string{
+	vmCopy: "copy", vmAdd: "add", vmSub: "sub", vmMul: "mul", vmDiv: "div",
+	vmSquare: "square", vmSqrt: "sqrt", vmNeg: "neg", vmAbs: "abs",
+	vmSin: "sin", vmCos: "cos", vmExp: "exp", vmHypot: "hypot",
+	vmCallUn: "call", vmCallBin: "call2",
+}
+
+// foldable reports whether an opcode may be evaluated at compile time when
+// all operands are constants. User calls are excluded: a stateful closure
+// must keep being invoked per element exactly as the closure evaluator
+// would have.
+func (op vmOp) foldable() bool { return op != vmCallUn && op != vmCallBin }
+
+// Operand kinds. A register operand names a scratch block, a leaf operand
+// names a flattened input array indexed by the current block offset, and a
+// const operand names a pre-broadcast constant block.
+const (
+	roReg uint8 = iota
+	roLeaf
+	roConst
+)
+
+type vmOperand struct {
+	kind uint8
+	idx  int
+}
+
+// vmInstr is one vector instruction: dst register = op(a[, b]).
+type vmInstr struct {
+	op   vmOp
+	dst  int
+	a, b vmOperand
+	un   func(float64) float64
+	bin  func(float64, float64) float64
+}
+
+// vmProgram is a compiled expression: immutable after compileProgram, safe
+// for concurrent execution from any number of ranks/workers (scratch state
+// comes from a sync.Pool, one vmState per in-flight block sweep).
+type vmProgram struct {
+	code      []vmInstr
+	nregs     int
+	nleaves   int
+	consts    []float64 // distinct constant values, indexed by roConst idx
+	outReg    int       // register holding the result after the last instr
+	cacheable bool
+
+	pool sync.Pool // of *vmState
+}
+
+// vmState is one worker's scratch: register blocks plus materialized
+// constant blocks, all sized to the block size the state was built for.
+type vmState struct {
+	block  int
+	regs   [][]float64
+	consts [][]float64
+}
+
+// DefaultBlockSize is the number of float64 elements one VM instruction
+// covers per dispatch: 1024 elements = 8 KiB per register, so a handful of
+// live registers plus two input spans stay comfortably inside L1/L2 while
+// still amortizing instruction dispatch over a thousand elements.
+const DefaultBlockSize = 1024
+
+var vmBlockSize atomic.Int64
+
+func init() { vmBlockSize.Store(DefaultBlockSize) }
+
+// SetBlockSize sets the VM block size in elements (clamped to >= 16) and
+// returns the previous value. Results are block-size-invariant — element-
+// wise programs are bitwise identical and fused sums keep the exact same
+// accumulation order — so this is a pure performance knob, exposed for the
+// BenchmarkFusionVM sweep.
+func SetBlockSize(n int) int {
+	if n < 16 {
+		n = 16
+	}
+	return int(vmBlockSize.Swap(int64(n)))
+}
+
+// BlockSize returns the current VM block size in elements.
+func BlockSize() int { return int(vmBlockSize.Load()) }
+
+func (p *vmProgram) getState(block int) *vmState {
+	if st, _ := p.pool.Get().(*vmState); st != nil && st.block == block {
+		return st
+	}
+	st := &vmState{block: block}
+	slab := make([]float64, p.nregs*block)
+	st.regs = make([][]float64, p.nregs)
+	for r := range st.regs {
+		st.regs[r] = slab[r*block : (r+1)*block]
+	}
+	if len(p.consts) > 0 {
+		cslab := make([]float64, len(p.consts)*block)
+		st.consts = make([][]float64, len(p.consts))
+		for c, v := range p.consts {
+			st.consts[c] = cslab[c*block : (c+1)*block]
+			dense.VecFill(st.consts[c], v)
+		}
+	}
+	return st
+}
+
+func (p *vmProgram) putState(st *vmState) { p.pool.Put(st) }
+
+// runBlock executes the whole program over elements [lo, hi) of the
+// flattened leaves. The last instruction writes directly into out[lo:hi]
+// when out is non-nil; otherwise the result block is left in regs[outReg].
+func (p *vmProgram) runBlock(st *vmState, leaves [][]float64, out []float64, lo, hi int) {
+	n := hi - lo
+	resolve := func(o vmOperand) []float64 {
+		switch o.kind {
+		case roLeaf:
+			return leaves[o.idx][lo:hi]
+		case roConst:
+			return st.consts[o.idx][:n]
+		default:
+			return st.regs[o.idx][:n]
+		}
+	}
+	last := len(p.code) - 1
+	for k := range p.code {
+		ins := &p.code[k]
+		var dst []float64
+		if k == last && out != nil {
+			dst = out[lo:hi]
+		} else {
+			dst = st.regs[ins.dst][:n]
+		}
+		a := resolve(ins.a)
+		switch ins.op {
+		case vmCopy:
+			dense.VecCopy(dst, a)
+		case vmSquare:
+			dense.VecSquare(dst, a)
+		case vmSqrt:
+			dense.VecSqrt(dst, a)
+		case vmNeg:
+			dense.VecNeg(dst, a)
+		case vmAbs:
+			dense.VecAbs(dst, a)
+		case vmSin:
+			dense.VecSin(dst, a)
+		case vmCos:
+			dense.VecCos(dst, a)
+		case vmExp:
+			dense.VecExp(dst, a)
+		case vmCallUn:
+			dense.VecMap(dst, a, ins.un)
+		case vmAdd:
+			dense.VecAdd(dst, a, resolve(ins.b))
+		case vmSub:
+			dense.VecSub(dst, a, resolve(ins.b))
+		case vmMul:
+			dense.VecMul(dst, a, resolve(ins.b))
+		case vmDiv:
+			dense.VecDiv(dst, a, resolve(ins.b))
+		case vmHypot:
+			dense.VecHypot(dst, a, resolve(ins.b))
+		case vmCallBin:
+			dense.VecMap2(dst, a, resolve(ins.b), ins.bin)
+		}
+	}
+}
+
+// runSpan sweeps [lo, hi) in block-size steps, writing results into out.
+// It is the body handed to exec.ParallelFor; spans never share state.
+func (p *vmProgram) runSpan(st *vmState, leaves [][]float64, out []float64, lo, hi int) {
+	for b := lo; b < hi; b += st.block {
+		bh := b + st.block
+		if bh > hi {
+			bh = hi
+		}
+		p.runBlock(st, leaves, out, b, bh)
+	}
+}
+
+// sumSpan sweeps [lo, hi) and folds the result blocks into a scalar with
+// the exact left-to-right element order of the serial loop `for i in
+// [lo,hi) { acc += kernel(i) }`, so the fused reduction is bitwise
+// identical to the closure-kernel fold over the same span.
+func (p *vmProgram) sumSpan(st *vmState, leaves [][]float64, lo, hi int) float64 {
+	var acc float64
+	for b := lo; b < hi; b += st.block {
+		bh := b + st.block
+		if bh > hi {
+			bh = hi
+		}
+		p.runBlock(st, leaves, nil, b, bh)
+		acc = dense.VecAccum(acc, st.regs[p.outReg][:bh-b])
+	}
+	return acc
+}
+
+// String disassembles the program (one instruction per line), for the
+// hypot example and debugging.
+func (p *vmProgram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program: %d instrs, %d regs, %d leaves, %d consts\n",
+		len(p.code), p.nregs, p.nleaves, len(p.consts))
+	opd := func(o vmOperand) string {
+		switch o.kind {
+		case roLeaf:
+			return fmt.Sprintf("leaf%d", o.idx)
+		case roConst:
+			return fmt.Sprintf("const[%g]", p.consts[o.idx])
+		default:
+			return fmt.Sprintf("r%d", o.idx)
+		}
+	}
+	for _, ins := range p.code {
+		switch ins.op {
+		case vmAdd, vmSub, vmMul, vmDiv, vmHypot, vmCallBin:
+			fmt.Fprintf(&b, "  r%d = %s %s, %s\n", ins.dst, vmOpNames[ins.op], opd(ins.a), opd(ins.b))
+		default:
+			fmt.Fprintf(&b, "  r%d = %s %s\n", ins.dst, vmOpNames[ins.op], opd(ins.a))
+		}
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// Lowering: Expr DAG -> value-numbered IR -> register program.
+
+type valKind uint8
+
+const (
+	valLeaf valKind = iota
+	valConst
+	valOp
+)
+
+// vmValue is one value-numbered node of the IR.
+type vmValue struct {
+	kind valKind
+	leaf int     // leaf slot for valLeaf
+	c    float64 // constant for valConst
+	op   vmOp
+	un   func(float64) float64
+	bin  func(float64, float64) float64
+	args [2]int // value ids (args[1] = -1 for unary)
+	uses int
+}
+
+// lowering accumulates the IR plus the structural cache key during one DFS
+// over the expression DAG.
+type lowering struct {
+	vals      []vmValue
+	byPtr     map[*Expr]int
+	byKey     map[string]int
+	leafSlot  map[*core.DistArray[float64]]int
+	key       strings.Builder
+	cacheable bool
+}
+
+// intern returns the id of an existing value with the same structural key
+// (common-subexpression elimination) or appends v as a new value. Every
+// first-seen key is also appended to the program's cache key, so the final
+// key is a faithful serialization of the deduplicated DAG.
+func (lw *lowering) intern(key string, v vmValue) int {
+	if id, ok := lw.byKey[key]; ok {
+		return id
+	}
+	id := len(lw.vals)
+	lw.vals = append(lw.vals, v)
+	lw.byKey[key] = id
+	lw.key.WriteString(key)
+	lw.key.WriteByte(';')
+	return id
+}
+
+func constKey(v float64) string { return fmt.Sprintf("C%016x", math.Float64bits(v)) }
+
+// visit lowers one node, folding builtin ops whose operands are all
+// constants (the fold calls the node's own function once — the same
+// float64 computation the closure evaluator repeated per element).
+func (lw *lowering) visit(e *Expr) int {
+	if id, ok := lw.byPtr[e]; ok {
+		return id
+	}
+	var id int
+	switch e.kind {
+	case kindLeaf:
+		slot, ok := lw.leafSlot[e.leaf]
+		if !ok {
+			slot = len(lw.leafSlot)
+			lw.leafSlot[e.leaf] = slot
+		}
+		id = lw.intern(fmt.Sprintf("L%d", slot), vmValue{kind: valLeaf, leaf: slot})
+	case kindConst:
+		id = lw.intern(constKey(e.value), vmValue{kind: valConst, c: e.value})
+	case kindUnary:
+		a := lw.visit(e.args[0])
+		if e.vop.foldable() && lw.vals[a].kind == valConst {
+			id = lw.intern(constKey(e.un(lw.vals[a].c)), vmValue{kind: valConst, c: e.un(lw.vals[a].c)})
+			break
+		}
+		key := fmt.Sprintf("U%d(%d)", e.vop, a)
+		if e.vop == vmCallUn {
+			// A user closure has no compile-time identity: never merge two
+			// call nodes and never let the program into the cache.
+			lw.cacheable = false
+			key = fmt.Sprintf("U!%d(%d)", len(lw.vals), a)
+		}
+		id = lw.intern(key, vmValue{kind: valOp, op: e.vop, un: e.un, args: [2]int{a, -1}})
+	default: // kindBinary
+		a := lw.visit(e.args[0])
+		b := lw.visit(e.args[1])
+		if e.vop.foldable() && lw.vals[a].kind == valConst && lw.vals[b].kind == valConst {
+			v := e.bin(lw.vals[a].c, lw.vals[b].c)
+			id = lw.intern(constKey(v), vmValue{kind: valConst, c: v})
+			break
+		}
+		key := fmt.Sprintf("B%d(%d,%d)", e.vop, a, b)
+		if e.vop == vmCallBin {
+			lw.cacheable = false
+			key = fmt.Sprintf("B!%d(%d,%d)", len(lw.vals), a, b)
+		}
+		id = lw.intern(key, vmValue{kind: valOp, op: e.vop, bin: e.bin, args: [2]int{a, b}})
+	}
+	lw.byPtr[e] = id
+	return id
+}
+
+// lower builds the IR and cache key for e. The leaf-slot numbering is
+// first-visit order over distinct arrays — identical to Expr.Leaves(), so
+// slot i of the program binds to Plan.leafData[i].
+func lower(e *Expr) (*lowering, int) {
+	lw := &lowering{
+		byPtr:     map[*Expr]int{},
+		byKey:     map[string]int{},
+		leafSlot:  map[*core.DistArray[float64]]int{},
+		cacheable: true,
+	}
+	root := lw.visit(e)
+	fmt.Fprintf(&lw.key, "R%d", root)
+	return lw, root
+}
+
+// emit turns the IR into a register program. Registers are allocated
+// lowest-free-first and released at each value's last use, so the pool
+// stays as small as the expression's live width; an operand register freed
+// in the same step may be reused as the destination (in-place ops are safe
+// for every opcode body).
+func (lw *lowering) emit(root int) *vmProgram {
+	p := &vmProgram{nleaves: len(lw.leafSlot), cacheable: lw.cacheable}
+
+	// Count uses so registers can be freed at last use.
+	for _, v := range lw.vals {
+		if v.kind != valOp {
+			continue
+		}
+		lw.vals[v.args[0]].uses++
+		if v.args[1] >= 0 {
+			lw.vals[v.args[1]].uses++
+		}
+	}
+	lw.vals[root].uses++
+
+	constIdx := map[int]int{} // value id -> consts slot
+	regOf := make([]int, len(lw.vals))
+	var free []int
+	alloc := func() int {
+		if len(free) > 0 {
+			// Lowest-numbered free register, for a deterministic, compact
+			// numbering.
+			best := 0
+			for i := 1; i < len(free); i++ {
+				if free[i] < free[best] {
+					best = i
+				}
+			}
+			r := free[best]
+			free = append(free[:best], free[best+1:]...)
+			return r
+		}
+		r := p.nregs
+		p.nregs++
+		return r
+	}
+	operand := func(id int) vmOperand {
+		v := &lw.vals[id]
+		switch v.kind {
+		case valLeaf:
+			return vmOperand{kind: roLeaf, idx: v.leaf}
+		case valConst:
+			ci, ok := constIdx[id]
+			if !ok {
+				ci = len(p.consts)
+				p.consts = append(p.consts, v.c)
+				constIdx[id] = ci
+			}
+			return vmOperand{kind: roConst, idx: ci}
+		default:
+			return vmOperand{kind: roReg, idx: regOf[id]}
+		}
+	}
+	release := func(id int) {
+		v := &lw.vals[id]
+		if v.kind != valOp {
+			return
+		}
+		v.uses--
+		if v.uses == 0 {
+			free = append(free, regOf[id])
+		}
+	}
+
+	for id := range lw.vals {
+		v := &lw.vals[id]
+		if v.kind != valOp {
+			continue
+		}
+		ins := vmInstr{op: v.op, a: operand(v.args[0]), un: v.un, bin: v.bin}
+		if v.args[1] >= 0 {
+			ins.b = operand(v.args[1])
+		}
+		release(v.args[0])
+		if v.args[1] >= 0 {
+			release(v.args[1])
+		}
+		ins.dst = alloc()
+		regOf[id] = ins.dst
+		p.code = append(p.code, ins)
+	}
+
+	// A root that is itself a leaf compiles to a single copy (Analyze
+	// rejects leafless expressions before lowering, so a const root is
+	// unreachable).
+	if lw.vals[root].kind == valLeaf {
+		p.code = append(p.code, vmInstr{op: vmCopy, dst: alloc(), a: operand(root)})
+		p.outReg = p.code[0].dst
+	} else {
+		p.outReg = p.code[len(p.code)-1].dst
+	}
+	return p
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache.
+
+// progCacheCap bounds the cache; on overflow the whole map is dropped
+// (NumExpr-style), which keeps eviction O(1) and the steady state of any
+// real solver loop — a handful of distinct expressions — fully cached.
+const progCacheCap = 512
+
+var progCache = struct {
+	mu     sync.Mutex
+	m      map[string]*vmProgram
+	hits   atomic.Int64
+	misses atomic.Int64
+}{m: map[string]*vmProgram{}}
+
+// PlanCacheStats returns the cumulative hit/miss counters of the compiled-
+// program cache. Only cacheable programs (no user closures) are counted.
+func PlanCacheStats() (hits, misses int64) {
+	return progCache.hits.Load(), progCache.misses.Load()
+}
+
+// ResetPlanCache empties the program cache and zeroes its counters.
+func ResetPlanCache() {
+	progCache.mu.Lock()
+	progCache.m = map[string]*vmProgram{}
+	progCache.mu.Unlock()
+	progCache.hits.Store(0)
+	progCache.misses.Store(0)
+}
+
+// compileProgram lowers e to a register program, consulting the cache
+// keyed on the DAG's structural serialization. Two structurally equal
+// expressions over different arrays share one program: leaf slots bind to
+// concrete arrays only at Analyze time.
+func compileProgram(e *Expr) *vmProgram {
+	lw, root := lower(e)
+	if !lw.cacheable {
+		return lw.emit(root)
+	}
+	key := lw.key.String()
+	progCache.mu.Lock()
+	p, ok := progCache.m[key]
+	progCache.mu.Unlock()
+	if ok {
+		progCache.hits.Add(1)
+		return p
+	}
+	progCache.misses.Add(1)
+	p = lw.emit(root)
+	progCache.mu.Lock()
+	if len(progCache.m) >= progCacheCap {
+		progCache.m = map[string]*vmProgram{}
+	}
+	progCache.m[key] = p
+	progCache.mu.Unlock()
+	return p
+}

@@ -14,7 +14,13 @@ go vet ./...
 go test ./...
 go test -race ./internal/comm ./internal/core ./internal/exec
 
+# Fusion-equivalence pass: the register VM must stay bitwise identical to
+# the closure reference evaluator and the naive path across worker-pool
+# sizes, rank counts, and block sizes — under the race detector, since the
+# block sweep shares compiled programs across pool workers.
+go test -race ./internal/fusion
+
 # Chaos conformance: replay collectives and distributed kernels under seeded
 # fault plans, twice, under the race detector — results must be bitwise
 # identical to fault-free runs or fail with a typed comm.FaultError.
-go test -race -count=2 -run Chaos ./internal/comm/... ./internal/tpetra ./internal/distmap ./internal/slicing ./internal/solvers
+go test -race -count=2 -run Chaos ./internal/comm/... ./internal/fusion ./internal/tpetra ./internal/distmap ./internal/slicing ./internal/solvers
