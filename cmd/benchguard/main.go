@@ -1,0 +1,120 @@
+// Command benchguard compares `go test -bench` output on stdin against a
+// recorded baseline (BENCH_exec.json or BENCH_fusion.json) and flags
+// regressions of the tracing-disabled hot paths.
+//
+// Usage:
+//
+//	go test -run XXX -bench ExecScaling . | benchguard -baseline BENCH_exec.json
+//
+// Two thresholds, because the baselines were recorded on a single-core host
+// whose run-to-run noise exceeds any honest tolerance: rows slower than the
+// baseline by more than -warn (default 3%) are reported but do not fail the
+// run; rows slower by more than -fail (default 50%) exit non-zero — that
+// magnitude is a real regression (e.g. an instrumentation site that started
+// paying when disabled), not scheduler noise.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// baseline mirrors the shared shape of the BENCH_*.json files: a benchmark
+// name plus result rows keyed either kernel/threads (BenchmarkExecScaling)
+// or depth/block (BenchmarkFusionVM).
+type baseline struct {
+	Benchmark string `json:"benchmark"`
+	Results   []struct {
+		Kernel  string `json:"kernel"`
+		Threads int    `json:"threads"`
+		Depth   int    `json:"depth"`
+		Block   int    `json:"block"`
+		NsPerOp int64  `json:"ns_per_op"`
+	} `json:"results"`
+}
+
+// subKey renders the sub-benchmark path a baseline row corresponds to,
+// matching the b.Run names in bench_test.go.
+func subKey(kernel string, threads, depth, block int) string {
+	if kernel != "" {
+		return fmt.Sprintf("%s/threads=%d", kernel, threads)
+	}
+	return fmt.Sprintf("depth=%d/block=%d", depth, block)
+}
+
+// benchLine matches one result row of `go test -bench` output:
+// BenchmarkName/sub/path-GOMAXPROCS <iters> <ns> ns/op ...
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op`)
+
+func main() {
+	basePath := flag.String("baseline", "", "baseline JSON file (BENCH_exec.json / BENCH_fusion.json)")
+	warn := flag.Float64("warn", 0.03, "report rows slower than baseline by this fraction")
+	fail := flag.Float64("fail", 0.50, "exit non-zero for rows slower by this fraction")
+	flag.Parse()
+	if *basePath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -baseline is required")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(*basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	var base baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %s: %v\n", *basePath, err)
+		os.Exit(2)
+	}
+	want := map[string]int64{}
+	for _, r := range base.Results {
+		want[base.Benchmark+"/"+subKey(r.Kernel, r.Threads, r.Depth, r.Block)] = r.NsPerOp
+	}
+
+	seen := 0
+	failed := false
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the bench output through for the log
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		ref, ok := want[name]
+		if !ok {
+			continue
+		}
+		seen++
+		ratio := ns/float64(ref) - 1
+		switch {
+		case ratio > *fail:
+			failed = true
+			fmt.Printf("benchguard: FAIL %s: %.0f ns/op vs baseline %d (+%.1f%%)\n", name, ns, ref, 100*ratio)
+		case ratio > *warn:
+			fmt.Printf("benchguard: warn %s: %.0f ns/op vs baseline %d (+%.1f%%)\n", name, ns, ref, 100*ratio)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: reading stdin: %v\n", err)
+		os.Exit(2)
+	}
+	if seen == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: no rows on stdin matched %s baselines\n", base.Benchmark)
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: checked %d/%d rows against %s\n", seen, len(want), *basePath)
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -15,6 +15,10 @@
 // -faults injects a seeded comm-fabric fault plan into the e11 sweep in
 // place of the built-in plan matrix. The spec is the compact form accepted
 // by comm.ParseFaultPlan, e.g. "seed=42,drop=0.1,retries=8,delay=0.3".
+//
+// -trace records every experiment run under the per-rank trace layer and
+// writes a Chrome trace_event JSON timeline (chrome://tracing, Perfetto) to
+// the given path on exit.
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 
 	"odinhpc/internal/comm"
 	"odinhpc/internal/exec"
+	"odinhpc/internal/trace"
 )
 
 var experiments = []struct {
@@ -43,15 +48,20 @@ var experiments = []struct {
 	{"e10", "master is not a bottleneck (paper Fig. 1)", e10},
 	{"e11", "fault sweep: CG under comm-fabric perturbation", e11},
 	{"e12", "fusion register VM: block sweep and plan cache", e12},
+	{"e13", "halo message sizes read off a trace capture (paper §III.G)", e13},
 }
 
 func main() {
 	threads := flag.Int("threads", 0, "intra-rank exec engine workers (0 = ODINHPC_THREADS env, else GOMAXPROCS)")
 	faults := flag.String("faults", "", "fault plan for e11 (comm.ParseFaultPlan spec, e.g. \"seed=42,drop=0.1\")")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON timeline of the run to this path")
 	flag.Usage = usage
 	flag.Parse()
 	if *threads > 0 {
 		exec.SetDefaultWorkers(*threads)
+	}
+	if *traceOut != "" {
+		trace.Start(1 << 18)
 	}
 	if *faults != "" {
 		plan, err := comm.ParseFaultPlan(*faults)
@@ -82,10 +92,37 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	if *traceOut != "" {
+		if err := writeTrace(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "-trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTrace stops the session started for -trace and serializes it.
+func writeTrace(path string) error {
+	s := trace.Stop()
+	if s == nil {
+		return fmt.Errorf("no trace session active")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("trace: %s -> %s\n", s.Summary(), path)
+	return nil
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: solverbench [-threads N] [-faults SPEC] <experiment|all>")
+	fmt.Fprintln(os.Stderr, "usage: solverbench [-threads N] [-faults SPEC] [-trace out.json] <experiment|all>")
 	for _, e := range experiments {
 		fmt.Fprintf(os.Stderr, "  %-4s %s\n", e.name, e.desc)
 	}

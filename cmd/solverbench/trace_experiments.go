@@ -1,0 +1,68 @@
+package main
+
+// E13: verify the "only boundary communication" claim (§III.G) directly
+// from a trace capture instead of aggregate byte counters. The finite
+// difference dy = y[1:] - y[:-1] runs under a per-rank trace session; the
+// send events carrying slicing.HaloTag are the halo exchange, and the
+// experiment checks that their count and size depend on the halo width k
+// and rank count P — never on N.
+
+import (
+	"fmt"
+
+	"odinhpc/internal/comm"
+	"odinhpc/internal/core"
+	"odinhpc/internal/slicing"
+	"odinhpc/internal/trace"
+)
+
+func e13() error {
+	fmt.Printf("%12s %4s %4s %12s %14s %14s %12s\n",
+		"N", "P", "k", "halo msgs", "bytes/msg", "halo bytes", "total bytes")
+	const p = 4
+	for _, n := range []int{1 << 12, 1 << 16, 1 << 20} {
+		for _, k := range []int{1, 4} {
+			// A private session per measurement: the capture must contain
+			// exactly one ShiftDiff, and must not mix into a -trace session.
+			prev := trace.Active()
+			s := trace.Start(1 << 16)
+			stats, err := comm.RunStats(p, func(c *comm.Comm) error {
+				ctx := core.NewContext(c)
+				ctx.SetControlMessages(false)
+				y := core.Random(ctx, []int{n}, 1)
+				c.Barrier()
+				_ = slicing.ShiftDiff(y, k)
+				return nil
+			})
+			trace.Install(prev)
+			if err != nil {
+				return err
+			}
+			var msgs, bytes int64
+			sizeOK := true
+			for _, ev := range s.Events() {
+				if ev.Kind != trace.KindSend || ev.Tag != slicing.HaloTag {
+					continue
+				}
+				msgs++
+				bytes += ev.Bytes
+				if ev.Bytes != int64(k)*8 {
+					sizeOK = false
+				}
+			}
+			per := int64(0)
+			if msgs > 0 {
+				per = bytes / msgs
+			}
+			mark := ""
+			if !sizeOK || msgs != p-1 {
+				mark = "  <- UNEXPECTED"
+			}
+			fmt.Printf("%12d %4d %4d %12d %14d %14d %12d%s\n",
+				n, p, k, msgs, per, bytes, stats.Snapshot().TotalBytes(), mark)
+		}
+	}
+	fmt.Println("halo msgs = P-1 and bytes/msg = 8k at every N: boundary-only communication,")
+	fmt.Println("read directly off the trace events tagged slicing.HaloTag.")
+	return nil
+}

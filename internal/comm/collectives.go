@@ -1,6 +1,10 @@
 package comm
 
-import "fmt"
+import (
+	"fmt"
+
+	"odinhpc/internal/trace"
+)
 
 // Number constrains the element types usable with reduction collectives.
 type Number interface {
@@ -67,10 +71,35 @@ func (c *Comm) nextColl() int {
 // kept disjoint from user tags by being strongly negative.
 func collTag(seq, round int) int { return -(seq<<8 | round) - 1000 }
 
+// nopEnd is the shared no-op returned by collSpan when tracing is off, so
+// the disabled path costs one atomic load and zero allocations.
+var nopEnd = func() {}
+
+// collSpan opens a trace span for one collective phase on this rank and
+// returns its completion function, meant for the idiom
+//
+//	seq := c.nextColl()
+//	defer c.collSpan("bcast", seq)()
+//
+// Nested composite collectives (Allreduce = Reduce + Bcast) produce nested
+// spans, which the timeline renders as a phase breakdown.
+func (c *Comm) collSpan(name string, seq int) func() {
+	s := trace.Active()
+	if s == nil {
+		return nopEnd
+	}
+	t0 := s.Now()
+	return func() {
+		s.Emit(trace.Event{Kind: trace.KindColl, Rank: int32(c.rank), Worker: -1,
+			Peer: -1, Tag: -1, Start: t0, Dur: s.Now() - t0, A: int64(seq), Label: name})
+	}
+}
+
 // Barrier blocks until every rank has entered it, using a dissemination
 // pattern with ceil(log2 P) rounds.
 func (c *Comm) Barrier() {
 	seq := c.nextColl()
+	defer c.collSpan("barrier", seq)()
 	round := 0
 	for k := 1; k < c.size; k <<= 1 {
 		dst := (c.rank + k) % c.size
@@ -85,6 +114,7 @@ func (c *Comm) Barrier() {
 // All ranks must pass a buffer of the same length.
 func Bcast[T any](c *Comm, root int, buf []T) {
 	seq := c.nextColl()
+	defer c.collSpan("bcast", seq)()
 	// Work in a rotated rank space where root is 0.
 	vr := (c.rank - root + c.size) % c.size
 	if vr != 0 {
@@ -118,6 +148,7 @@ func BcastScalar[T any](c *Comm, root int, v T) T {
 // modified.
 func Reduce[T Number](c *Comm, root int, in []T, op Op) []T {
 	seq := c.nextColl()
+	defer c.collSpan("reduce", seq)()
 	acc := make([]T, len(in))
 	copy(acc, in)
 	vr := (c.rank - root + c.size) % c.size
@@ -175,6 +206,7 @@ func AllreduceScalar[T Number](c *Comm, v T, op Op) T {
 // source rank (possibly ragged); other ranks receive nil.
 func Gather[T any](c *Comm, root int, in []T) [][]T {
 	seq := c.nextColl()
+	defer c.collSpan("gather", seq)()
 	if c.rank != root {
 		c.Send(root, collTag(seq, 0), in)
 		return nil
@@ -194,6 +226,7 @@ func Gather[T any](c *Comm, root int, in []T) [][]T {
 // Slices may have different lengths (the "v" variant is the only variant).
 func Allgather[T any](c *Comm, in []T) [][]T {
 	seq := c.nextColl()
+	defer c.collSpan("allgather", seq)()
 	out := make([][]T, c.size)
 	local := make([]T, len(in))
 	copy(local, in)
@@ -228,6 +261,7 @@ func AllgatherFlat[T any](c *Comm, in []T) []T {
 // part. Only root's parts argument is consulted; it must have length Size.
 func Scatter[T any](c *Comm, root int, parts [][]T) []T {
 	seq := c.nextColl()
+	defer c.collSpan("scatter", seq)()
 	if c.rank == root {
 		if len(parts) != c.size {
 			panic(fmt.Sprintf("comm: Scatter needs %d parts, got %d", c.size, len(parts)))
@@ -249,6 +283,7 @@ func Scatter[T any](c *Comm, root int, parts [][]T) []T {
 // ragged, and empty blocks are transferred as empty slices.
 func Alltoall[T any](c *Comm, parts [][]T) [][]T {
 	seq := c.nextColl()
+	defer c.collSpan("alltoall", seq)()
 	if len(parts) != c.size {
 		panic(fmt.Sprintf("comm: Alltoall needs %d parts, got %d", c.size, len(parts)))
 	}
@@ -273,6 +308,7 @@ func Alltoall[T any](c *Comm, parts [][]T) [][]T {
 // op(in_0, ..., in_r), element-wise. Runs as a linear chain.
 func Scan[T Number](c *Comm, in []T, op Op) []T {
 	seq := c.nextColl()
+	defer c.collSpan("scan", seq)()
 	acc := make([]T, len(in))
 	copy(acc, in)
 	if c.rank > 0 {

@@ -14,6 +14,8 @@ package comm
 import (
 	"fmt"
 	"sync"
+
+	"odinhpc/internal/trace"
 )
 
 // AnySource matches a message from any sender in Recv.
@@ -205,6 +207,14 @@ func (c *Comm) Send(dst, tag int, data any) {
 	}
 	n := payloadBytes(data)
 	c.f.stats.record(c.rank, dst, n)
+	// One trace event per logical Send — the identical unit Stats counts —
+	// so the trace-derived message matrix reconciles exactly with the Stats
+	// matrices, including under fault plans (retransmits are deliveries,
+	// not sends).
+	if s := trace.Active(); s != nil {
+		s.Emit(trace.Event{Kind: trace.KindSend, Rank: int32(c.rank), Worker: -1,
+			Peer: int32(dst), Tag: int32(tag), Start: s.Now(), Bytes: n})
+	}
 	if c.f.model != nil {
 		c.simTime += c.f.model.Time(n)
 	}
@@ -228,6 +238,21 @@ func (c *Comm) Recv(src, tag int) any {
 // RecvMsg is Recv but returns the full message envelope, exposing the actual
 // source and tag (useful with wildcards).
 func (c *Comm) RecvMsg(src, tag int) Message {
+	s := trace.Active()
+	if s == nil {
+		return c.recvMsg(src, tag)
+	}
+	t0 := s.Now()
+	m := c.recvMsg(src, tag)
+	// Dur is the time this rank spent blocked — the per-rank wait profile
+	// that makes collective skew visible in the exported timeline.
+	s.Emit(trace.Event{Kind: trace.KindRecv, Rank: int32(c.rank), Worker: -1,
+		Peer: int32(m.Src), Tag: int32(m.Tag), Start: t0, Dur: s.Now() - t0,
+		Bytes: payloadBytes(m.Payload)})
+	return m
+}
+
+func (c *Comm) recvMsg(src, tag int) Message {
 	if c.f.plan != nil {
 		return c.faultyRecv(src, tag)
 	}

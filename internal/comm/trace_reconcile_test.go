@@ -1,0 +1,131 @@
+package comm
+
+// Reconciliation of the trace layer against the Stats accounting: the
+// per-pair message matrix folded out of a trace capture must equal the
+// communicator's Stats matrices entry for entry, for every collective at
+// every golden rank count — and re-rendering the trace-derived matrix must
+// reproduce the checked-in golden file. Both layers observe the same unit
+// (one logical message per Send call), so any divergence is a bug in one of
+// them, not a tolerance.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"odinhpc/internal/trace"
+)
+
+// withPrivateTrace installs a fresh session for one measurement and restores
+// whatever was active before (the test binary may run under ODINHPC_TRACE).
+func withPrivateTrace(t *testing.T, capacity int) *trace.Session {
+	t.Helper()
+	prev := trace.Active()
+	s := trace.Start(capacity)
+	t.Cleanup(func() { trace.Install(prev) })
+	return s
+}
+
+// goldenSections parses testdata/collective_msg_matrices.golden into its
+// "== name P=p ==" sections.
+func goldenSections(t *testing.T) map[string]string {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("testdata", "collective_msg_matrices.golden"))
+	if err != nil {
+		t.Fatalf("missing golden file: %v", err)
+	}
+	sections := map[string]string{}
+	var key string
+	var body strings.Builder
+	flush := func() {
+		if key != "" {
+			sections[key] = body.String()
+		}
+		body.Reset()
+	}
+	for _, line := range strings.SplitAfter(string(raw), "\n") {
+		if strings.HasPrefix(line, "== ") {
+			flush()
+			key = strings.TrimSpace(strings.Trim(strings.TrimSpace(line), "="))
+			continue
+		}
+		body.WriteString(line)
+	}
+	flush()
+	return sections
+}
+
+func TestTraceReconciliesWithStatsAndGolden(t *testing.T) {
+	golden := goldenSections(t)
+	for _, cl := range goldenCollectives {
+		for _, p := range []int{1, 2, 4, 8} {
+			s := withPrivateTrace(t, 1<<14)
+			stats, err := RunStats(p, func(c *Comm) error {
+				cl.body(c)
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("%s P=%d: %v", cl.name, p, err)
+			}
+			snap := stats.Snapshot()
+			msgs, bytes := s.MessageMatrix(p)
+			if s.Dropped() != 0 {
+				t.Fatalf("%s P=%d: trace ring dropped %d events; capacity too small for an exact matrix", cl.name, p, s.Dropped())
+			}
+			for i := range msgs {
+				if msgs[i] != snap.Msgs[i] {
+					t.Errorf("%s P=%d: trace msgs[%d] = %d, Stats says %d", cl.name, p, i, msgs[i], snap.Msgs[i])
+				}
+				if bytes[i] != snap.Bytes[i] {
+					t.Errorf("%s P=%d: trace bytes[%d] = %d, Stats says %d", cl.name, p, i, bytes[i], snap.Bytes[i])
+				}
+			}
+			// The trace-derived matrix, rendered in the golden format, must
+			// reproduce the checked-in file byte for byte.
+			fromTrace := StatsSnapshot{Size: p, Msgs: msgs, Bytes: bytes}.MsgMatrixString()
+			key := fmt.Sprintf("%s P=%d", cl.name, p)
+			want, ok := golden[key]
+			if !ok {
+				t.Fatalf("golden file has no section %q", key)
+			}
+			if fromTrace != want {
+				t.Errorf("%s P=%d: trace-derived matrix diverges from golden\ngot:\n%swant:\n%s", cl.name, p, fromTrace, want)
+			}
+		}
+	}
+}
+
+// TestCollectiveSelfLaneIsZero pins wire-traffic attribution for the
+// self lane: at P=1 every collective is a pure local operation (all-zero
+// matrices), and at any size no collective may count a rank's locally
+// delivered data as a message to itself (zero diagonal). Scatter's root
+// copy, Alltoall's own-part copy, and Allgather's seed block are local
+// copies, not wire traffic.
+func TestCollectiveSelfLaneIsZero(t *testing.T) {
+	for _, cl := range goldenCollectives {
+		for _, p := range []int{1, 4} {
+			stats, err := RunStats(p, func(c *Comm) error {
+				cl.body(c)
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("%s P=%d: %v", cl.name, p, err)
+			}
+			snap := stats.Snapshot()
+			if p == 1 {
+				if snap.TotalMsgs() != 0 || snap.TotalBytes() != 0 {
+					t.Errorf("%s P=1: total msgs=%d bytes=%d, want all-zero",
+						cl.name, snap.TotalMsgs(), snap.TotalBytes())
+				}
+				continue
+			}
+			for r := 0; r < p; r++ {
+				if m := snap.MsgCount(r, r); m != 0 {
+					t.Errorf("%s P=%d: rank %d self-lane counts %d wire messages", cl.name, p, r, m)
+				}
+			}
+		}
+	}
+}

@@ -39,6 +39,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"odinhpc/internal/trace"
 )
 
 // DefaultGrain is the minimum number of items per chunk. Element-wise work
@@ -185,12 +187,14 @@ type chunkPanic struct {
 	val   any
 }
 
-// runChunks executes body(c) for every chunk index in [0, count) on up to
-// e.workers goroutines (the caller participates as one of them). Chunks are
+// runChunks executes body(w, c) for every chunk index in [0, count) on up
+// to e.workers goroutines (the caller participates as worker 0). Chunks are
 // claimed dynamically — assignment never affects results because outputs
-// are keyed by chunk index. The lowest-chunk panic, if any, is re-raised on
-// the calling goroutine with its original value.
-func (e *Engine) runChunks(count int, body func(c int)) {
+// are keyed by chunk index; the worker id is passed through purely for
+// instrumentation (the trace layer's per-worker sub-lanes). The
+// lowest-chunk panic, if any, is re-raised on the calling goroutine with
+// its original value.
+func (e *Engine) runChunks(count int, body func(w, c int)) {
 	workers := e.workers
 	if workers > count {
 		workers = count
@@ -198,7 +202,7 @@ func (e *Engine) runChunks(count int, body func(c int)) {
 	var next atomic.Int64
 	var mu sync.Mutex
 	var caught *chunkPanic
-	work := func() {
+	work := func(w int) {
 		for {
 			c := int(next.Add(1)) - 1
 			if c >= count {
@@ -214,23 +218,34 @@ func (e *Engine) runChunks(count int, body func(c int)) {
 						mu.Unlock()
 					}
 				}()
-				body(c)
+				body(w, c)
 			}()
 		}
 	}
 	var wg sync.WaitGroup
 	wg.Add(workers - 1)
 	for i := 1; i < workers; i++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			work()
-		}()
+			work(w)
+		}(i)
 	}
-	work()
+	work(0)
 	wg.Wait()
 	if caught != nil {
 		panic(caught.val)
 	}
+}
+
+// traceChunk records one chunk execution on the trace layer's process lane
+// (the engine is shared by every rank, so chunks carry worker attribution,
+// not rank attribution; rank-attributed spans come from the layers calling
+// into the engine). s is non-nil by contract; the caller already holds the
+// single-atomic-load disabled check.
+func traceChunk(s *trace.Session, kind string, w, lo, hi int, t0 int64) {
+	s.Emit(trace.Event{Kind: trace.KindChunk, Rank: -1, Worker: int32(w),
+		Peer: -1, Tag: -1, Start: t0, Dur: s.Now() - t0,
+		A: int64(lo), B: int64(hi), Label: kind})
 }
 
 // ParallelFor runs body over the half-open spans that partition [0, n).
@@ -245,15 +260,27 @@ func (e *Engine) ParallelFor(n int, body func(lo, hi int)) {
 	start := time.Now()
 	size, count := e.chunking(n)
 	if e.workers == 1 || count == 1 {
-		body(0, n)
+		if s := trace.Active(); s != nil {
+			t0 := s.Now()
+			body(0, n)
+			traceChunk(s, "for", 0, 0, n, t0)
+		} else {
+			body(0, n)
+		}
 		e.record("for", n, 1, 1, start)
 		return
 	}
-	e.runChunks(count, func(c int) {
+	e.runChunks(count, func(w, c int) {
 		lo := c * size
 		hi := lo + size
 		if hi > n {
 			hi = n
+		}
+		if s := trace.Active(); s != nil {
+			t0 := s.Now()
+			body(lo, hi)
+			traceChunk(s, "for", w, lo, hi, t0)
+			return
 		}
 		body(lo, hi)
 	})
@@ -280,16 +307,29 @@ func ParallelReduce[A any](e *Engine, n int, fold func(lo, hi int) A, combine fu
 	start := time.Now()
 	size, count := e.chunking(n)
 	if e.workers == 1 || count == 1 {
-		out := fold(0, n)
+		var out A
+		if s := trace.Active(); s != nil {
+			t0 := s.Now()
+			out = fold(0, n)
+			traceChunk(s, "reduce", 0, 0, n, t0)
+		} else {
+			out = fold(0, n)
+		}
 		e.record("reduce", n, 1, 1, start)
 		return out
 	}
 	partials := make([]A, count)
-	e.runChunks(count, func(c int) {
+	e.runChunks(count, func(w, c int) {
 		lo := c * size
 		hi := lo + size
 		if hi > n {
 			hi = n
+		}
+		if s := trace.Active(); s != nil {
+			t0 := s.Now()
+			partials[c] = fold(lo, hi)
+			traceChunk(s, "reduce", w, lo, hi, t0)
+			return
 		}
 		partials[c] = fold(lo, hi)
 	})

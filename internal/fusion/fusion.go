@@ -25,8 +25,18 @@ import (
 	"odinhpc/internal/core"
 	"odinhpc/internal/dense"
 	"odinhpc/internal/exec"
+	"odinhpc/internal/trace"
 	"odinhpc/internal/ufunc"
 )
+
+// traceVM records one fused-sweep span: the plan key (Label), the VM block
+// size (Tag), and the element bounds the sweep covered on this rank. s is
+// non-nil by contract.
+func traceVM(s *trace.Session, rank int32, block, lo, hi int, label string, t0 int64) {
+	s.Emit(trace.Event{Kind: trace.KindVM, Rank: rank, Worker: -1,
+		Peer: -1, Tag: int32(block), Start: t0, Dur: s.Now() - t0,
+		A: int64(lo), B: int64(hi), Label: label})
+}
 
 // Expr is a node in a lazy expression graph over float64 DistArrays.
 type Expr struct {
@@ -282,10 +292,19 @@ func (p *Plan) Execute() *core.DistArray[float64] {
 	out := make([]float64, n)
 	prog, leaves := p.prog, p.leafData
 	block := BlockSize()
+	rank := int32(p.model.Context().Comm().Rank())
 	exec.Default().ParallelFor(n, func(lo, hi int) {
+		s := trace.Active()
+		var t0 int64
+		if s != nil {
+			t0 = s.Now()
+		}
 		st := prog.getState(block)
 		prog.runSpan(st, leaves, out, lo, hi)
 		prog.putState(st)
+		if s != nil {
+			traceVM(s, rank, block, lo, hi, prog.label, t0)
+		}
 	})
 	return p.model.WithLocal(dense.FromSlice(out, p.model.Local().Shape()...))
 }
@@ -311,13 +330,23 @@ func (p *Plan) sumLocal() float64 {
 	n := p.model.Local().Size()
 	prog, leaves := p.prog, p.leafData
 	block := BlockSize()
+	rank := int32(p.model.Context().Comm().Rank())
 	return exec.ParallelReduce(exec.Default(), n, func(lo, hi int) float64 {
 		if hi <= lo {
 			return 0
 		}
+		s := trace.Active()
+		var t0 int64
+		if s != nil {
+			t0 = s.Now()
+		}
 		st := prog.getState(block)
 		defer prog.putState(st)
-		return prog.sumSpan(st, leaves, lo, hi)
+		v := prog.sumSpan(st, leaves, lo, hi)
+		if s != nil {
+			traceVM(s, rank, block, lo, hi, prog.label, t0)
+		}
+		return v
 	}, func(a, b float64) float64 { return a + b })
 }
 

@@ -102,6 +102,7 @@ type vmProgram struct {
 	consts    []float64 // distinct constant values, indexed by roConst idx
 	outReg    int       // register holding the result after the last instr
 	cacheable bool
+	label     string // short hash of the structural cache key, for trace events
 
 	pool sync.Pool // of *vmState
 }
@@ -525,16 +526,31 @@ func ResetPlanCache() {
 	progCache.misses.Store(0)
 }
 
+// keyHash is a 32-bit FNV-1a over the structural cache key: the "plan key"
+// stamped on trace events, stable across runs for structurally equal
+// expressions (uncacheable programs hash their unique serialization, so
+// distinct closure programs still get distinct labels within a process).
+func keyHash(key string) string {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return fmt.Sprintf("%08x", h)
+}
+
 // compileProgram lowers e to a register program, consulting the cache
 // keyed on the DAG's structural serialization. Two structurally equal
 // expressions over different arrays share one program: leaf slots bind to
 // concrete arrays only at Analyze time.
 func compileProgram(e *Expr) *vmProgram {
 	lw, root := lower(e)
-	if !lw.cacheable {
-		return lw.emit(root)
-	}
 	key := lw.key.String()
+	if !lw.cacheable {
+		p := lw.emit(root)
+		p.label = keyHash(key)
+		return p
+	}
 	progCache.mu.Lock()
 	p, ok := progCache.m[key]
 	progCache.mu.Unlock()
@@ -544,6 +560,7 @@ func compileProgram(e *Expr) *vmProgram {
 	}
 	progCache.misses.Add(1)
 	p = lw.emit(root)
+	p.label = keyHash(key)
 	progCache.mu.Lock()
 	if len(progCache.m) >= progCacheCap {
 		progCache.m = map[string]*vmProgram{}

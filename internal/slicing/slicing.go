@@ -12,7 +12,27 @@ import (
 	"odinhpc/internal/core"
 	"odinhpc/internal/dense"
 	"odinhpc/internal/distmap"
+	"odinhpc/internal/trace"
 )
+
+// HaloTag is the reserved point-to-point tag of ShiftDiff's boundary
+// exchange. Filtering a trace capture's send events by this tag isolates
+// halo traffic from everything else on the fabric — how experiment E13
+// verifies "only boundary communication" from a recorded timeline.
+const HaloTag = (1 << 30) + 7
+
+// sliceSpan emits one span covering a whole slicing operation on this rank,
+// labelling which path ran ("slice", "shift", "halo") so a timeline shows
+// general gather-based slices apart from the optimized halo exchange. s is
+// non-nil by contract.
+func sliceSpan(s *trace.Session, rank int, label string, a int64, t0 int64) {
+	kind := trace.KindSlice
+	if label == "halo" {
+		kind = trace.KindHalo
+	}
+	s.Emit(trace.Event{Kind: kind, Rank: int32(rank), Worker: -1,
+		Peer: -1, Tag: -1, Start: t0, Dur: s.Now() - t0, A: a, Label: label})
+}
 
 // sliceLen returns the normalized start/stop and the number of indices
 // selected by r from extent n, with NumPy semantics for negative bounds and
@@ -64,6 +84,11 @@ func clampInt(v, lo, hi int) int {
 func Slice[T dense.Elem](x *core.DistArray[T], r dense.Range) *core.DistArray[T] {
 	ctx := x.Context()
 	ctx.Control(core.OpSlice, int64(r.Start), int64(r.Stop), int64(r.Step))
+	ts := trace.Active()
+	var t0 int64
+	if ts != nil {
+		t0 = ts.Now()
+	}
 	n := x.Shape()[x.Axis()]
 	start, _, count := sliceLen(r, n)
 
@@ -116,6 +141,9 @@ func Slice[T dense.Elem](x *core.DistArray[T], r dense.Range) *core.DistArray[T]
 		setSlab(out.Local(), out.Axis(), l, buf[pos*slab:(pos+1)*slab])
 		cursor[owner]++
 	}
+	if ts != nil {
+		sliceSpan(ts, me, "slice", int64(count), t0)
+	}
 	return out
 }
 
@@ -159,6 +187,11 @@ func Shift[T dense.Elem](x *core.DistArray[T], k int, fill T) *core.DistArray[T]
 	saved := ctx.ControlMessagesEnabled()
 	ctx.SetControlMessages(false)
 	defer ctx.SetControlMessages(saved)
+	ts := trace.Active()
+	var t0 int64
+	if ts != nil {
+		t0 = ts.Now()
+	}
 
 	n := x.Shape()[x.Axis()]
 	out := core.Zeros[T](ctx, x.Shape(), core.Options{Axis: x.Axis(), Map: x.Map()})
@@ -211,6 +244,9 @@ func Shift[T dense.Elem](x *core.DistArray[T], k int, fill T) *core.DistArray[T]
 			setSlab(out.Local(), out.Axis(), p.local, buf[p.ord*slab:(p.ord+1)*slab])
 		}
 	}
+	if ts != nil {
+		sliceSpan(ts, me, "shift", int64(k), t0)
+	}
 	return out
 }
 
@@ -262,7 +298,12 @@ func ShiftDiff[T dense.Elem](x *core.DistArray[T], k int) *core.DistArray[T] {
 	}
 
 	ctx.Control(core.OpSlice, int64(k))
-	const haloTag = (1 << 30) + 7
+	ts := trace.Active()
+	var t0 int64
+	if ts != nil {
+		t0 = ts.Now()
+	}
+	const haloTag = HaloTag
 	local := x.Local()
 	cnt := local.Dim(0)
 	lo, hiG := 0, 0
@@ -295,6 +336,11 @@ func ShiftDiff[T dense.Elem](x *core.DistArray[T], k int) *core.DistArray[T] {
 	var halo []T
 	if cnt > 0 && next >= 0 {
 		halo = ctx.Comm().Recv(next, haloTag).([]T)
+	}
+	if ts != nil {
+		// The halo span covers only the boundary exchange — its Send events
+		// (tag haloTag) are what experiment E13 reads message sizes from.
+		sliceSpan(ts, me, "halo", int64(k), t0)
 	}
 
 	// Result rows: globals g in [lo, hi) with g < n-k.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"odinhpc/internal/comm"
+	"odinhpc/internal/trace"
 )
 
 // ExportAdd pushes (global index, value) contributions — including ones for
@@ -18,6 +19,11 @@ func ExportAdd(v *Vector, globals []int, vals []float64) {
 	}
 	c := v.Comm()
 	me := c.Rank()
+	ts := trace.Active()
+	var t0 int64
+	if ts != nil {
+		t0 = ts.Now()
+	}
 	outIdx := make([][]int, c.Size())
 	outVal := make([][]float64, c.Size())
 	for k, g := range globals {
@@ -42,5 +48,16 @@ func ExportAdd(v *Vector, globals []int, vals []float64) {
 			}
 			v.Data[local] += inVal[r][k]
 		}
+	}
+	if ts != nil {
+		remote := 0
+		for r, idx := range outIdx {
+			if r != me {
+				remote += len(idx)
+			}
+		}
+		ts.Emit(trace.Event{Kind: trace.KindExport, Rank: int32(me), Worker: -1,
+			Peer: -1, Tag: -1, Start: t0, Dur: ts.Now() - t0,
+			Bytes: int64(remote) * 8, A: int64(remote)})
 	}
 }

@@ -5,7 +5,24 @@ import (
 
 	"odinhpc/internal/comm"
 	"odinhpc/internal/distmap"
+	"odinhpc/internal/trace"
 )
+
+// GatherLengthError is the panic value raised when Gather is handed a local
+// segment whose length disagrees with the plan's source map on this rank. It
+// is typed and rank-stamped so a chaos session reports which rank passed the
+// bad vector instead of surfacing an anonymous index-out-of-range from the
+// pack loop (or, worse, silently gathering stale values when the slice is
+// long enough to index but belongs to a different map).
+type GatherLengthError struct {
+	Rank int // rank that called Gather
+	Got  int // len(local) as passed
+	Want int // the source map's local count on Rank
+}
+
+func (e *GatherLengthError) Error() string {
+	return fmt.Sprintf("tpetra: rank %d called Gather with a local segment of %d elements; source map owns %d", e.Rank, e.Got, e.Want)
+}
 
 // GatherPlan is a reusable communication plan that fetches an arbitrary set
 // of global elements of a distributed vector onto the requesting rank. It is
@@ -20,6 +37,12 @@ type GatherPlan struct {
 	selfSrc []int   // src-local indices satisfied locally
 	selfDst []int   // output positions for locally satisfied requests
 	outLen  int
+
+	// outgoing holds the per-destination pack buffers, sized once at build
+	// time and refilled in place by every Gather (Send copies payloads, so
+	// reuse is safe). Hoisting them here makes a plan stateful: one plan must
+	// not be applied concurrently from multiple goroutines on the same rank.
+	outgoing [][]float64
 }
 
 // NewGatherPlan builds a plan delivering the elements with global indices
@@ -29,6 +52,11 @@ type GatherPlan struct {
 func NewGatherPlan(c *comm.Comm, src *distmap.Map, needed []int) *GatherPlan {
 	if src.NumRanks() != c.Size() {
 		panic(fmt.Sprintf("tpetra: map has %d ranks, communicator has %d", src.NumRanks(), c.Size()))
+	}
+	ts := trace.Active()
+	var t0 int64
+	if ts != nil {
+		t0 = ts.Now()
 	}
 	p := &GatherPlan{
 		src:     src,
@@ -65,6 +93,16 @@ func NewGatherPlan(c *comm.Comm, src *distmap.Map, needed []int) *GatherPlan {
 		}
 		p.sendIdx[r] = idx
 	}
+	p.outgoing = make([][]float64, c.Size())
+	for r, idx := range p.sendIdx {
+		if len(idx) > 0 {
+			p.outgoing[r] = make([]float64, len(idx))
+		}
+	}
+	if ts != nil {
+		ts.Emit(trace.Event{Kind: trace.KindPlan, Rank: int32(c.Rank()), Worker: -1,
+			Peer: -1, Tag: -1, Start: t0, Dur: ts.Now() - t0, A: int64(p.RemoteCount())})
+	}
 	return p
 }
 
@@ -85,26 +123,33 @@ func (p *GatherPlan) RemoteCount() int {
 // vector; out (length OutLen) receives the requested elements in request
 // order. Collective.
 func (p *GatherPlan) Gather(c *comm.Comm, local, out []float64) {
+	// Validate the whole local segment up front, before any element moves:
+	// a short slice must not die mid-pack with a bare index panic, and a
+	// wrong-map slice that happens to be long enough must not gather
+	// plausible-but-stale values.
+	if want := p.src.LocalCount(c.Rank()); len(local) != want {
+		panic(&GatherLengthError{Rank: c.Rank(), Got: len(local), Want: want})
+	}
 	if len(out) != p.outLen {
 		panic(fmt.Sprintf("tpetra: Gather output length %d, want %d", len(out), p.outLen))
+	}
+	ts := trace.Active()
+	var t0 int64
+	if ts != nil {
+		t0 = ts.Now()
 	}
 	// Satisfy local requests without communication.
 	for k, s := range p.selfSrc {
 		out[p.selfDst[k]] = local[s]
 	}
-	// Pack and exchange remote values.
-	outgoing := make([][]float64, c.Size())
+	// Pack into the plan's hoisted buffers and exchange remote values.
 	for r, idx := range p.sendIdx {
-		if len(idx) == 0 {
-			continue
-		}
-		vals := make([]float64, len(idx))
+		vals := p.outgoing[r]
 		for k, s := range idx {
 			vals[k] = local[s]
 		}
-		outgoing[r] = vals
 	}
-	incoming := comm.Alltoall(c, outgoing)
+	incoming := comm.Alltoall(c, p.outgoing)
 	for r, vals := range incoming {
 		pos := p.recvPos[r]
 		if len(vals) != len(pos) {
@@ -113,6 +158,12 @@ func (p *GatherPlan) Gather(c *comm.Comm, local, out []float64) {
 		for k, v := range vals {
 			out[pos[k]] = v
 		}
+	}
+	if ts != nil {
+		remote := p.RemoteCount()
+		ts.Emit(trace.Event{Kind: trace.KindGather, Rank: int32(c.Rank()), Worker: -1,
+			Peer: -1, Tag: -1, Start: t0, Dur: ts.Now() - t0,
+			Bytes: int64(remote) * 8, A: int64(remote)})
 	}
 }
 
@@ -155,7 +206,16 @@ func (im *Import) Apply(src, dst *Vector) {
 	if !dst.Map().SameAs(im.dst) {
 		panic("tpetra: Import.Apply destination vector has wrong map")
 	}
-	im.plan.Gather(src.Comm(), src.Data, dst.Data)
+	c := src.Comm()
+	if ts := trace.Active(); ts != nil {
+		t0 := ts.Now()
+		im.plan.Gather(c, src.Data, dst.Data)
+		ts.Emit(trace.Event{Kind: trace.KindImport, Rank: int32(c.Rank()), Worker: -1,
+			Peer: -1, Tag: -1, Start: t0, Dur: ts.Now() - t0,
+			A: int64(im.plan.RemoteCount())})
+		return
+	}
+	im.plan.Gather(c, src.Data, dst.Data)
 }
 
 // ImportVector is a convenience wrapper building a fresh plan and vector.

@@ -1,0 +1,307 @@
+// Package trace is the per-rank structured tracing and metrics layer of the
+// repository. The paper's central quantitative claims — control messages are
+// "tens of bytes" (§III.B), slicing needs "only boundary communication"
+// (§III.G), redistribution strategies chosen by communication cost (§III.D) —
+// are claims about *who talks to whom, when, and how much*. comm.Stats
+// answers "how much" in aggregate; this package records the structure and
+// timing of an execution: one event per point-to-point send/recv, per
+// collective phase, per exec chunk, per fusion-VM block sweep, and per
+// tpetra gather/import/export or slicing halo exchange.
+//
+// The layer follows the same pay-for-use discipline as the comm fault
+// layer's nil-plan fast path: when no session is installed, every
+// instrumentation site costs exactly one atomic pointer load and no
+// allocation. When a session is active, events go to fixed-capacity
+// per-rank ring buffers (oldest events are overwritten, with a drop count),
+// so tracing never grows without bound and never blocks the traced code on
+// I/O. Exporters (export.go) turn a captured session into a Chrome
+// trace_event timeline — one lane per rank, one sub-lane per worker — or a
+// per-pair message matrix that reconciles exactly with comm.Stats.
+package trace
+
+import (
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies an event. Each instrumented layer has its own kinds so
+// exporters and tests can filter without string matching.
+type Kind uint8
+
+// Event kinds.
+const (
+	// KindSend is one point-to-point send: Peer is the destination rank,
+	// Tag the message tag, Bytes the payload size. Exactly one KindSend
+	// event is emitted per logical comm.Send call — the same unit
+	// comm.Stats counts — so the trace-derived message matrix reconciles
+	// with the Stats matrices even under fault plans (retransmits and
+	// duplicates perturb delivery, not the logical send count).
+	KindSend Kind = iota + 1
+	// KindRecv is one blocking receive: Peer is the actual source, Dur the
+	// time spent blocked (the per-rank wait profile of a collective).
+	KindRecv
+	// KindColl spans one collective phase (Label = "barrier", "bcast",
+	// "reduce", ...; A = the rank's collective sequence number).
+	KindColl
+	// KindChunk is one exec-engine chunk execution (Label = "for" or
+	// "reduce", Worker = pool worker id, A/B = span bounds [lo, hi)).
+	KindChunk
+	// KindVM is one fusion register-VM block sweep (Label = plan key hash,
+	// A/B = element bounds of the sweep, Tag = VM block size in elements).
+	KindVM
+	// KindGather spans one tpetra.GatherPlan.Gather apply (A = remote
+	// element count, Bytes = remote bytes this rank requested).
+	KindGather
+	// KindPlan spans one tpetra.NewGatherPlan construction.
+	KindPlan
+	// KindImport spans one tpetra.Import.Apply (redistribution).
+	KindImport
+	// KindExport spans one tpetra.ExportAdd (assembly scatter-add).
+	KindExport
+	// KindHalo spans one slicing boundary exchange (ShiftDiff fast path;
+	// Bytes = halo bytes shipped by this rank).
+	KindHalo
+	// KindSlice spans one general slicing/shift operation (gather-based
+	// fallback path).
+	KindSlice
+)
+
+var kindNames = [...]string{
+	KindSend: "send", KindRecv: "recv", KindColl: "coll", KindChunk: "chunk",
+	KindVM: "vm", KindGather: "gather", KindPlan: "plan", KindImport: "import",
+	KindExport: "export", KindHalo: "halo", KindSlice: "slice",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return "Kind(" + strconv.Itoa(int(k)) + ")"
+}
+
+// Event is one recorded span or instant. It is a flat value type — no
+// pointers besides the label string — so a ring buffer of events is a single
+// allocation and recording is one slot store.
+type Event struct {
+	Kind   Kind
+	Rank   int32 // emitting rank; -1 for process-wide lanes (exec pool)
+	Worker int32 // exec pool worker id; -1 when not applicable
+	Peer   int32 // counterpart rank (send destination, recv source); -1 n/a
+	Tag    int32 // message tag, or kind-specific small scalar; -1 n/a
+	Start  int64 // nanoseconds since session start
+	Dur    int64 // span duration in nanoseconds (0 for instants)
+	Bytes  int64 // payload bytes moved, when meaningful
+	A, B   int64 // kind-specific operands (chunk bounds, collective seq, ...)
+	Label  string
+}
+
+// ring is one lane's fixed-capacity event buffer. Writers from any
+// goroutine may share a lane (a rank's exec workers emit on the rank's
+// lane), so pushes are mutex-guarded; the critical section is one slot
+// store.
+type ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	total int64 // events ever pushed; oldest live event is total - len(buf)
+}
+
+func newRing(capacity int) *ring {
+	return &ring{buf: make([]Event, 0, capacity)}
+}
+
+func (r *ring) push(ev Event) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+	} else {
+		r.buf[r.total%int64(len(r.buf))] = ev
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// events returns the live events oldest-first.
+func (r *ring) events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.buf))
+	if r.total <= int64(len(r.buf)) {
+		copy(out, r.buf)
+		return out
+	}
+	head := int(r.total % int64(len(r.buf)))
+	n := copy(out, r.buf[head:])
+	copy(out[n:], r.buf[:head])
+	return out
+}
+
+func (r *ring) dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if d := r.total - int64(len(r.buf)); d > 0 && len(r.buf) == cap(r.buf) {
+		return d
+	}
+	return 0
+}
+
+// Session is one tracing capture: a set of per-rank ring buffers plus the
+// start instant all event times are relative to. Lanes are created on first
+// use (copy-on-write), so a session works for any communicator size without
+// pre-declaring P.
+type Session struct {
+	t0       time.Time
+	capacity int
+	mu       sync.Mutex // guards lane growth
+	lanes    atomic.Pointer[[]*ring]
+}
+
+// NewSession returns a detached session (not installed as the active one)
+// whose lanes each hold up to capacity events. Capacity below 16 is clamped
+// to 16.
+func NewSession(capacity int) *Session {
+	if capacity < 16 {
+		capacity = 16
+	}
+	s := &Session{t0: time.Now(), capacity: capacity}
+	empty := make([]*ring, 0)
+	s.lanes.Store(&empty)
+	return s
+}
+
+// Now returns the current time in nanoseconds since the session started —
+// the time base of every event Start.
+func (s *Session) Now() int64 { return time.Since(s.t0).Nanoseconds() }
+
+// lane returns the ring for a rank, creating intermediate lanes on demand.
+// Rank -1 (process-wide events, e.g. the exec pool) maps to lane 0; rank r
+// maps to lane r+1. The fast path is one atomic load and a bounds check.
+func (s *Session) lane(rank int32) *ring {
+	idx := int(rank) + 1
+	if idx < 0 {
+		idx = 0
+	}
+	if ls := *s.lanes.Load(); idx < len(ls) {
+		return ls[idx]
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ls := *s.lanes.Load()
+	if idx < len(ls) {
+		return ls[idx]
+	}
+	grown := make([]*ring, idx+1)
+	copy(grown, ls)
+	for i := len(ls); i <= idx; i++ {
+		grown[i] = newRing(s.capacity)
+	}
+	s.lanes.Store(&grown)
+	return grown[idx]
+}
+
+// Emit records one event on the emitting rank's lane. Safe for concurrent
+// use from any goroutine.
+func (s *Session) Emit(ev Event) { s.lane(ev.Rank).push(ev) }
+
+// Events returns every live event across all lanes, ordered by Start time
+// (ties broken by rank). The session may still be active; the result is a
+// consistent per-lane snapshot.
+func (s *Session) Events() []Event {
+	var out []Event
+	for _, r := range *s.lanes.Load() {
+		out = append(out, r.events()...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Rank < out[j].Rank
+	})
+	return out
+}
+
+// Dropped returns how many events were overwritten by ring-buffer overflow
+// across all lanes. A non-zero count means the exported timeline is a
+// suffix of the run; raise the session capacity to capture everything.
+func (s *Session) Dropped() int64 {
+	var d int64
+	for _, r := range *s.lanes.Load() {
+		d += r.dropped()
+	}
+	return d
+}
+
+// Len returns the number of live events across all lanes.
+func (s *Session) Len() int {
+	n := 0
+	for _, r := range *s.lanes.Load() {
+		r.mu.Lock()
+		n += len(r.buf)
+		r.mu.Unlock()
+	}
+	return n
+}
+
+// ---------------------------------------------------------------------------
+// The process-wide active session.
+
+var active atomic.Pointer[Session]
+
+// Active returns the installed session, or nil when tracing is off. This is
+// the single atomic load every instrumentation site performs on its
+// disabled path; callers emit only when the result is non-nil:
+//
+//	if s := trace.Active(); s != nil {
+//		t0 := s.Now()
+//		...
+//		s.Emit(trace.Event{Kind: ..., Start: t0, Dur: s.Now() - t0})
+//	}
+func Active() *Session { return active.Load() }
+
+// Start installs a fresh session with the given per-lane capacity as the
+// active one (replacing any previous session) and returns it.
+func Start(capacity int) *Session {
+	s := NewSession(capacity)
+	active.Store(s)
+	return s
+}
+
+// Stop uninstalls the active session and returns it for export; nil when
+// tracing was off. Events emitted by goroutines still in flight after Stop
+// land harmlessly in the detached session.
+func Stop() *Session {
+	s := active.Load()
+	active.Store(nil)
+	return s
+}
+
+// Install makes s the active session (nil disables tracing). It is the
+// restore half for code that temporarily swaps in a private session:
+//
+//	prev := trace.Active()
+//	own := trace.Start(1 << 16)
+//	... traced region ...
+//	trace.Stop()
+//	trace.Install(prev)
+func Install(s *Session) { active.Store(s) }
+
+// EnvVar names the environment variable that auto-starts a session at
+// process init: any non-empty value enables tracing, a positive integer
+// value sets the per-lane capacity (default 65536). The verify script uses
+// it to run the test suites with every enabled-path branch live.
+const EnvVar = "ODINHPC_TRACE"
+
+func init() {
+	v := os.Getenv(EnvVar)
+	if v == "" {
+		return
+	}
+	capacity := 65536
+	if n, err := strconv.Atoi(v); err == nil && n > 0 {
+		capacity = n
+	}
+	Start(capacity)
+}

@@ -1,0 +1,199 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// The test binary may run with ODINHPC_TRACE set (the verify script's
+// trace-enabled pass); every test here installs its own session and
+// restores the previous one, so env-driven sessions are never clobbered.
+func private(t *testing.T, capacity int) *Session {
+	t.Helper()
+	prev := Active()
+	s := Start(capacity)
+	t.Cleanup(func() { Install(prev) })
+	return s
+}
+
+func TestActiveDisabledIsNil(t *testing.T) {
+	prev := Active()
+	Install(nil)
+	defer Install(prev)
+	if Active() != nil {
+		t.Fatal("Active() should be nil with no session installed")
+	}
+}
+
+func TestRingOverflowDropsOldest(t *testing.T) {
+	s := private(t, 16)
+	for i := 0; i < 40; i++ {
+		s.Emit(Event{Kind: KindSend, Rank: 0, Peer: 1, Start: int64(i)})
+	}
+	evs := s.Events()
+	if len(evs) != 16 {
+		t.Fatalf("live events = %d, want ring capacity 16", len(evs))
+	}
+	// Oldest-first: the survivors are the last 16 pushed.
+	if evs[0].Start != 24 || evs[15].Start != 39 {
+		t.Fatalf("ring kept wrong window: first=%d last=%d", evs[0].Start, evs[15].Start)
+	}
+	if d := s.Dropped(); d != 24 {
+		t.Fatalf("Dropped() = %d, want 24", d)
+	}
+}
+
+func TestLanesAreIndependentAndGrowOnDemand(t *testing.T) {
+	s := private(t, 64)
+	s.Emit(Event{Kind: KindChunk, Rank: -1, Worker: 0})
+	s.Emit(Event{Kind: KindSend, Rank: 7, Peer: 0, Bytes: 8})
+	s.Emit(Event{Kind: KindSend, Rank: 2, Peer: 1, Bytes: 16})
+	if n := s.Len(); n != 3 {
+		t.Fatalf("Len() = %d, want 3", n)
+	}
+	msgs, bytes := s.MessageMatrix(8)
+	if msgs[7*8+0] != 1 || bytes[7*8+0] != 8 {
+		t.Fatalf("rank 7->0 lane: msgs=%d bytes=%d", msgs[7*8+0], bytes[7*8+0])
+	}
+	if msgs[2*8+1] != 1 || bytes[2*8+1] != 16 {
+		t.Fatalf("rank 2->1 lane: msgs=%d bytes=%d", msgs[2*8+1], bytes[2*8+1])
+	}
+	var total int64
+	for _, m := range msgs {
+		total += m
+	}
+	if total != 2 {
+		t.Fatalf("matrix total = %d, want 2 (process-lane event must not count)", total)
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	s := private(t, 4096)
+	var wg sync.WaitGroup
+	const ranks, per = 8, 200
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(rank int32) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Emit(Event{Kind: KindSend, Rank: rank, Peer: (rank + 1) % ranks, Bytes: 8})
+			}
+		}(int32(r))
+	}
+	wg.Wait()
+	msgs, _ := s.MessageMatrix(ranks)
+	for r := 0; r < ranks; r++ {
+		if got := msgs[r*ranks+(r+1)%ranks]; got != per {
+			t.Fatalf("rank %d lane: %d msgs, want %d", r, got, per)
+		}
+	}
+}
+
+// TestChromeTraceSchema validates the exported JSON against the trace_event
+// format contract: a traceEvents array whose entries all carry name/ph/pid/
+// tid, with "X" events having non-negative ts and dur — the load-cleanly
+// acceptance criterion, checked structurally.
+func TestChromeTraceSchema(t *testing.T) {
+	s := private(t, 1024)
+	s.Emit(Event{Kind: KindColl, Rank: 0, Worker: -1, Peer: -1, Tag: -1, Start: 10, Dur: 5, A: 1, Label: "barrier"})
+	s.Emit(Event{Kind: KindSend, Rank: 0, Worker: -1, Peer: 1, Tag: 3, Start: 11, Dur: 1, Bytes: 16})
+	s.Emit(Event{Kind: KindRecv, Rank: 1, Worker: -1, Peer: 0, Tag: 3, Start: 12, Dur: 2, Bytes: 16})
+	s.Emit(Event{Kind: KindChunk, Rank: -1, Worker: 3, Peer: -1, Tag: -1, Start: 13, Dur: 7, A: 0, B: 4096, Label: "for"})
+	s.Emit(Event{Kind: KindVM, Rank: 0, Worker: -1, Peer: -1, Tag: 1024, Start: 14, Dur: 3, A: 0, B: 8192, Label: "vm:00c0ffee"})
+	// Zero-duration span: "dur" must still be serialized — the trace_event
+	// format requires it on every "X" complete event, and sub-microsecond
+	// sends round down to 0.
+	s.Emit(Event{Kind: KindSend, Rank: 1, Worker: -1, Peer: 0, Tag: 3, Start: 15, Dur: 0, Bytes: 1})
+
+	var buf bytes.Buffer
+	if err := s.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]json.RawMessage `json:"traceEvents"`
+		Unit        string                       `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no traceEvents exported")
+	}
+	sawX, sawM := 0, 0
+	for i, ev := range doc.TraceEvents {
+		for _, req := range []string{"name", "ph", "pid", "tid"} {
+			if _, ok := ev[req]; !ok {
+				t.Fatalf("event %d missing required field %q: %v", i, req, ev)
+			}
+		}
+		var ph string
+		if err := json.Unmarshal(ev["ph"], &ph); err != nil {
+			t.Fatalf("event %d ph: %v", i, err)
+		}
+		switch ph {
+		case "M":
+			sawM++
+		case "X":
+			sawX++
+			var ts float64
+			if err := json.Unmarshal(ev["ts"], &ts); err != nil || ts < 0 {
+				t.Fatalf("event %d: X event needs non-negative ts, got %s (err %v)", i, ev["ts"], err)
+			}
+			var dur float64
+			if err := json.Unmarshal(ev["dur"], &dur); err != nil || dur < 0 {
+				t.Fatalf("event %d: X event needs non-negative dur, got %s (err %v)", i, ev["dur"], err)
+			}
+			var pid int
+			if err := json.Unmarshal(ev["pid"], &pid); err != nil || pid < 0 {
+				t.Fatalf("event %d: pid must be a non-negative int, got %s", i, ev["pid"])
+			}
+		default:
+			t.Fatalf("event %d: unexpected phase %q", i, ph)
+		}
+	}
+	if sawX != 6 {
+		t.Fatalf("exported %d X events, want 6", sawX)
+	}
+	if sawM == 0 {
+		t.Fatal("no lane-naming metadata events exported")
+	}
+}
+
+func TestSummaryCountsKinds(t *testing.T) {
+	s := private(t, 64)
+	s.Emit(Event{Kind: KindSend, Rank: 0, Peer: 1})
+	s.Emit(Event{Kind: KindSend, Rank: 1, Peer: 0})
+	s.Emit(Event{Kind: KindColl, Rank: 0, Label: "barrier"})
+	got := s.Summary()
+	want := fmt.Sprintf("%d events send=2 coll=1", 3)
+	if got != want {
+		t.Fatalf("Summary() = %q, want %q", got, want)
+	}
+}
+
+func BenchmarkEmitEnabled(b *testing.B) {
+	prev := Active()
+	s := Start(1 << 16)
+	defer Install(prev)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Emit(Event{Kind: KindSend, Rank: 0, Peer: 1, Bytes: 8, Start: int64(i)})
+	}
+}
+
+// BenchmarkDisabledProbe measures the pay-for-use fast path: one atomic
+// load per instrumentation site when no session is installed.
+func BenchmarkDisabledProbe(b *testing.B) {
+	prev := Active()
+	Install(nil)
+	defer Install(prev)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if s := Active(); s != nil {
+			b.Fatal("session unexpectedly active")
+		}
+	}
+}

@@ -24,3 +24,20 @@ go test -race ./internal/fusion
 # fault plans, twice, under the race detector — results must be bitwise
 # identical to fault-free runs or fail with a typed comm.FaultError.
 go test -race -count=2 -run Chaos ./internal/comm/... ./internal/fusion ./internal/tpetra ./internal/distmap ./internal/slicing ./internal/solvers
+
+# Trace-enabled pass: ODINHPC_TRACE auto-starts a session at init, so the
+# comm and tpetra suites run with every instrumentation site live, under the
+# race detector (all ranks emit into the shared session concurrently).
+ODINHPC_TRACE=65536 go test -race ./internal/trace ./internal/comm ./internal/tpetra
+
+# Disabled-path guard: with tracing off, every instrumentation site must
+# cost one atomic load, so the hot-loop benchmarks must stay within noise of
+# the recorded baselines. Warn-only at 3%; hard-fail at +100%. The wide band
+# is deliberate: the shared single-core host has been measured drifting ~65%
+# on identical code within an hour (see the refresh note in
+# BENCH_fusion.json), so warns are the signal to re-run an A/B by hand and
+# the hard fail only catches order-of-magnitude mistakes (an instrumentation
+# site doing real work on the disabled path).
+go build -o /tmp/odinhpc-benchguard ./cmd/benchguard
+go test -run XXX -bench ExecScaling -benchtime=0.3s . | /tmp/odinhpc-benchguard -baseline BENCH_exec.json -fail 1.0
+go test -run XXX -bench FusionVM -benchtime=0.3s . | /tmp/odinhpc-benchguard -baseline BENCH_fusion.json -fail 1.0
