@@ -1,0 +1,241 @@
+// Command odinvet is the multichecker for the framework's domain
+// invariants: the five analyzers under internal/analysis (commsym,
+// tagcheck, hotalloc, tracepair, planreuse) run over the tree and fail the
+// build on any finding. See DESIGN.md "Static analysis" for the invariant
+// behind each analyzer and the escape hatch.
+//
+// Standalone usage (no install step, used by scripts/verify.sh and CI):
+//
+//	go run ./cmd/odinvet ./...
+//	odinvet [-tests=false] [-checks=commsym,tagcheck] ./internal/comm ./...
+//
+// Or as a `go vet` tool, which reuses the build cache's export data:
+//
+//	go vet -vettool=$(which odinvet) ./...
+//
+// Findings print as file:line:col: analyzer: message. A deliberate
+// exception is annotated at the finding site:
+//
+//	//lint:allow hotalloc per-chunk scratch, amortized over the chunk
+//
+// on the flagged line or the line directly above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"odinhpc/internal/analysis"
+	"odinhpc/internal/analysis/commsym"
+	"odinhpc/internal/analysis/hotalloc"
+	"odinhpc/internal/analysis/planreuse"
+	"odinhpc/internal/analysis/tagcheck"
+	"odinhpc/internal/analysis/tagregistry"
+	"odinhpc/internal/analysis/tracepair"
+)
+
+// all is the registered analyzer suite.
+var all = []*analysis.Analyzer{
+	commsym.Analyzer,
+	tagcheck.Analyzer,
+	hotalloc.Analyzer,
+	tracepair.Analyzer,
+	planreuse.Analyzer,
+}
+
+func main() {
+	installRegistry()
+
+	args := os.Args[1:]
+	// `go vet -vettool` probes the tool's identity and flag surface first...
+	for _, a := range args {
+		switch a {
+		case "-V=full", "--V=full":
+			fmt.Printf("odinvet version odinvet-1.0\n")
+			return
+		case "-flags", "--flags":
+			// No pass-through flags: the suite always runs whole.
+			fmt.Println("[]")
+			return
+		}
+	}
+	// ...then invokes it once per package with a JSON config file.
+	if n := len(args); n > 0 && strings.HasSuffix(args[n-1], ".cfg") {
+		os.Exit(vettool(args[n-1]))
+	}
+
+	fs := flag.NewFlagSet("odinvet", flag.ExitOnError)
+	tests := fs.Bool("tests", true, "also analyze _test.go files and external test packages")
+	checks := fs.String("checks", "", "comma-separated analyzer subset (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: odinvet [flags] [packages]\n\nAnalyzers:\n")
+		for _, a := range all {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	analyzers, err := selectAnalyzers(*checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odinvet:", err)
+		os.Exit(2)
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	modRoot, modPath, err := findModule()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odinvet:", err)
+		os.Exit(2)
+	}
+	dirs, err := expand(patterns, modRoot)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odinvet:", err)
+		os.Exit(2)
+	}
+
+	loader := analysis.NewLoader(modPath, modRoot, "", *tests)
+	exit := 0
+	for _, dir := range dirs {
+		pkgs, err := loader.LoadDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "odinvet: %s: %v\n", dir, err)
+			exit = 2
+			continue
+		}
+		diags, err := analysis.Run(analyzers, pkgs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "odinvet: %s: %v\n", dir, err)
+			exit = 2
+			continue
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+// installRegistry wires the source-of-truth tag reservations into tagcheck.
+func installRegistry() {
+	var rs []tagcheck.Range
+	for _, r := range tagregistry.Reserved() {
+		rs = append(rs, tagcheck.Range{Name: r.Name, Lo: r.Lo, Hi: r.Hi, Owner: r.Owner})
+	}
+	tagcheck.SetReserved(rs)
+}
+
+func selectAnalyzers(checks string) ([]*analysis.Analyzer, error) {
+	if checks == "" {
+		return all, nil
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(checks, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, a := range all {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+	}
+	return out, nil
+}
+
+// findModule locates the enclosing go.mod and reads its module path.
+func findModule() (root, path string, err error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s/go.mod has no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// expand resolves package patterns to directories containing Go files.
+// Supported forms: "./...", "dir/...", "dir", "./dir".
+func expand(patterns []string, modRoot string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			out = append(out, dir)
+		}
+	}
+	for _, p := range patterns {
+		if rest, ok := strings.CutSuffix(p, "/..."); ok {
+			base := rest
+			if base == "." || base == "" {
+				base = "."
+			}
+			err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+					return filepath.SkipDir
+				}
+				if hasGoFiles(path) {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if hasGoFiles(p) {
+			add(p)
+			continue
+		}
+		return nil, fmt.Errorf("pattern %q matches no Go package directory", p)
+	}
+	return out, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}

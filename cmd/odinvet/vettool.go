@@ -1,0 +1,124 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"odinhpc/internal/analysis"
+)
+
+// vetConfig is the JSON unit description `go vet` hands a -vettool per
+// package — the same schema x/tools' unitchecker consumes. Only the fields
+// odinvet needs are declared; the rest are ignored by the decoder.
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string // import path as written -> canonical path
+	PackageFile map[string]string // canonical path -> export data file
+	VetxOnly    bool
+	VetxOutput  string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// vettool runs the suite over one build unit described by cfgPath and
+// returns the process exit code: 0 clean, 2 findings (the unitchecker
+// convention go vet understands), 1 operational failure.
+func vettool(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odinvet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "odinvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// go vet expects the facts file to exist even though odinvet's
+	// analyzers keep no cross-package facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("odinvet: no facts\n"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "odinvet:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "odinvet:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	// Imports resolve through the export data the go command already built:
+	// map the source path through ImportMap, open the listed package file,
+	// and let the stdlib gc importer read it.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "odinvet:", err)
+		return 1
+	}
+	pkg := &analysis.Package{
+		Path:  cfg.ImportPath,
+		Name:  tpkg.Name(),
+		Fset:  fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	diags, err := analysis.Run(all, []*analysis.Package{pkg})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "odinvet:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

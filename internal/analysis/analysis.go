@@ -1,0 +1,189 @@
+// Package analysis is a dependency-free reimplementation of the spine of
+// golang.org/x/tools/go/analysis, sized for this repo's odinvet suite. The
+// build environment bakes in only the Go toolchain (no module proxy), so the
+// x/tools driver stack is out of reach; what the suite actually needs from it
+// is small and reimplemented here: an Analyzer/Pass/Diagnostic vocabulary, a
+// source loader that typechecks packages with full go/types information
+// (load.go), a driver that runs analyzers and honors `//lint:allow <analyzer>`
+// escape hatches, and an analysistest-style harness (see the analysistest
+// subpackage) driven by `// want "regex"` comments in testdata.
+//
+// The domain analyzers live in sibling packages (commsym, tagcheck, hotalloc,
+// tracepair, planreuse); cmd/odinvet is the multichecker binary that runs
+// them over the tree, standalone or as a `go vet -vettool`.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check. It mirrors the x/tools shape so the
+// suite could migrate to the real driver if the dependency ever becomes
+// available: Name is the identifier used in diagnostics and in
+// `//lint:allow <name>` directives, Doc the one-paragraph contract, Run the
+// per-package entry point.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one typechecked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Position token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Position, d.Analyzer, d.Message)
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics sorted by position, with findings suppressed by a
+// `//lint:allow <analyzer>` directive (same line or the line above the
+// finding) filtered out. A directive may carry a trailing justification:
+// `//lint:allow hotalloc per-chunk scratch, amortized`.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		diags = suppress(diags, pkg)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Position, diags[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// suppress drops diagnostics covered by lint:allow directives in pkg's files.
+func suppress(diags []Diagnostic, pkg *Package) []Diagnostic {
+	allowed := allowLines(pkg) // filename -> line -> analyzer set
+	out := diags[:0]
+	for _, d := range diags {
+		if set, ok := allowed[d.Position.Filename]; ok {
+			if names, ok := set[d.Position.Line]; ok && (names["*"] || names[d.Analyzer]) {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// allowLines maps each file to the source lines covered by lint:allow
+// directives: the directive's own line, and — for a directive that is a
+// standalone comment line — the following line.
+func allowLines(pkg *Package) map[string]map[int]map[string]bool {
+	files := map[string]map[int]map[string]bool{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				lines := files[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					files[pos.Filename] = lines
+				}
+				for _, ln := range []int{pos.Line, pos.Line + 1} {
+					if lines[ln] == nil {
+						lines[ln] = map[string]bool{}
+					}
+					for _, n := range names {
+						lines[ln][n] = true
+					}
+				}
+			}
+		}
+	}
+	return files
+}
+
+// parseAllow recognizes `//lint:allow name [name...] [justification]`.
+// Every leading field that looks like an analyzer name (lowercase ASCII
+// letters) is a suppressed analyzer; the rest is free-form justification.
+// `//lint:allow *` suppresses every analyzer on the covered lines.
+func parseAllow(text string) ([]string, bool) {
+	const prefix = "//lint:allow"
+	if !strings.HasPrefix(text, prefix) {
+		return nil, false
+	}
+	rest := strings.TrimSpace(text[len(prefix):])
+	var names []string
+	for _, f := range strings.Fields(rest) {
+		if f == "*" || isAnalyzerName(f) {
+			names = append(names, f)
+			continue
+		}
+		break
+	}
+	if len(names) == 0 {
+		return nil, false
+	}
+	return names, true
+}
+
+func isAnalyzerName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if r < 'a' || r > 'z' {
+			return false
+		}
+	}
+	return true
+}

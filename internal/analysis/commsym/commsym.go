@@ -1,0 +1,454 @@
+// Package commsym implements the odinvet analyzer that flags collective
+// operations reachable only under rank-dependent control flow — the classic
+// SPMD divergence deadlock. Collectives are symmetric by contract (every
+// rank of the communicator must call them in the same order, see
+// comm.nextColl); a Bcast guarded by `if c.Rank() == 0` leaves the other
+// ranks blocked inside the collective forever. The chaos harness can only
+// catch the hang dynamically and per-seed; this analyzer rejects the shape
+// at compile time.
+//
+// Two idioms are deliberately exempt:
+//
+//   - Error-abort returns. `if <rank-dep> { return fmt.Errorf(...) }` is a
+//     rank declaring failure, not steering around a collective; code after
+//     it is the happy path, which every non-failing rank reaches. Only a
+//     control return — bare, or returning nil/literal constants — counts
+//     as divergence for the early-return rule.
+//   - Subcommunicators. A collective on a value obtained from
+//     (*Comm).Split is exempt from rank-guard checks: Split's color
+//     argument is exactly how intentional asymmetry is expressed, and a
+//     subgroup collective must only be called by the subgroup's members.
+package commsym
+
+import (
+	"go/ast"
+	"go/types"
+
+	"odinhpc/internal/analysis"
+)
+
+// Analyzer flags collective calls guarded by rank-dependent conditions.
+var Analyzer = &analysis.Analyzer{
+	Name: "commsym",
+	Doc: "flags collective comm operations that are only reachable under a " +
+		"rank-dependent condition (SPMD divergence deadlock); hoist the " +
+		"collective out of the conditional, restructure with point-to-point " +
+		"messages, or annotate a deliberate exception with //lint:allow commsym",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		analysis.FuncScopes(file, func(decl *ast.FuncDecl) {
+			w := &walker{
+				pass:     pass,
+				tainted:  taintedObjects(pass, decl),
+				subcomms: subcommObjects(pass, decl),
+			}
+			w.stmts(decl.Body.List, 0)
+		})
+	}
+	return nil
+}
+
+// subcommObjects computes the set of local objects holding communicators
+// obtained from (*Comm).Split — directly or via ident copies. Collectives on
+// these are exempt from rank-guard checks (see the package comment).
+func subcommObjects(pass *analysis.Pass, decl *ast.FuncDecl) map[types.Object]bool {
+	subs := map[types.Object]bool{}
+	fromSplit := func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.CallExpr:
+			return analysis.IsMethodOn(analysis.Callee(pass.Info, e), "comm", "Comm", "Split")
+		case *ast.Ident:
+			obj := pass.Info.Uses[e]
+			if obj == nil {
+				obj = pass.Info.Defs[e]
+			}
+			return obj != nil && subs[obj]
+		}
+		return false
+	}
+	for i := 0; i < 8; i++ {
+		changed := false
+		ast.Inspect(decl, func(n ast.Node) bool {
+			s, ok := n.(*ast.AssignStmt)
+			if !ok || len(s.Lhs) != len(s.Rhs) {
+				return true
+			}
+			for i, lhs := range s.Lhs {
+				if !fromSplit(s.Rhs[i]) {
+					continue
+				}
+				if id, ok := lhs.(*ast.Ident); ok {
+					obj := pass.Info.Defs[id]
+					if obj == nil {
+						obj = pass.Info.Uses[id]
+					}
+					if obj != nil && !subs[obj] {
+						subs[obj] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+	return subs
+}
+
+// taintedObjects computes the set of local objects carrying rank-derived
+// values within decl: anything assigned from an expression whose value
+// derives from comm.Rank() (or the rank field inside package comm) through
+// operators, conversions, and ident copies. Taint deliberately does not
+// flow through ordinary function calls — c.Split(c.Rank()%2, 0) consumes a
+// rank but returns a communicator, not a rank value.
+func taintedObjects(pass *analysis.Pass, decl *ast.FuncDecl) map[types.Object]bool {
+	tainted := map[types.Object]bool{}
+	// Iterate to a fixpoint so chains like r := c.Rank(); isRoot := r == 0
+	// resolve regardless of declaration order quirks. The nesting depth of
+	// real code bounds the iteration count; cap it for safety.
+	for i := 0; i < 8; i++ {
+		changed := false
+		ast.Inspect(decl, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range s.Lhs {
+					var rhs ast.Expr
+					if len(s.Rhs) == len(s.Lhs) {
+						rhs = s.Rhs[i]
+					} else if len(s.Rhs) == 1 {
+						rhs = s.Rhs[0]
+					}
+					if rhs == nil || !rankDerived(pass, tainted, rhs) {
+						continue
+					}
+					if id, ok := lhs.(*ast.Ident); ok {
+						obj := pass.Info.Defs[id]
+						if obj == nil {
+							obj = pass.Info.Uses[id]
+						}
+						if obj != nil && !tainted[obj] {
+							tainted[obj] = true
+							changed = true
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, id := range s.Names {
+					var rhs ast.Expr
+					if len(s.Values) == len(s.Names) {
+						rhs = s.Values[i]
+					} else if len(s.Values) == 1 {
+						rhs = s.Values[0]
+					}
+					if rhs == nil || !rankDerived(pass, tainted, rhs) {
+						continue
+					}
+					if obj := pass.Info.Defs[id]; obj != nil && !tainted[obj] {
+						tainted[obj] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+	return tainted
+}
+
+// rankDerived reports whether the value of e derives from this rank's index.
+func rankDerived(pass *analysis.Pass, tainted map[types.Object]bool, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := pass.Info.Uses[e]
+		if obj == nil {
+			obj = pass.Info.Defs[e]
+		}
+		return obj != nil && tainted[obj]
+	case *ast.ParenExpr:
+		return rankDerived(pass, tainted, e.X)
+	case *ast.UnaryExpr:
+		return rankDerived(pass, tainted, e.X)
+	case *ast.BinaryExpr:
+		return rankDerived(pass, tainted, e.X) || rankDerived(pass, tainted, e.Y)
+	case *ast.CallExpr:
+		if isRankCall(pass, e) {
+			return true
+		}
+		// Conversions propagate the converted value's taint; other calls
+		// launder it (see taintedObjects).
+		if tv, ok := pass.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+			return rankDerived(pass, tainted, e.Args[0])
+		}
+		return false
+	case *ast.SelectorExpr:
+		// Inside package comm itself, c.rank is the rank source.
+		if e.Sel.Name == "rank" {
+			if sel, ok := pass.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+				if analysis.TypeIs(sel.Recv(), "comm", "Comm") {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// isRankCall reports whether call is comm.(*Comm).Rank().
+func isRankCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := analysis.Callee(pass.Info, call)
+	return analysis.IsMethodOn(fn, "comm", "Comm", "Rank")
+}
+
+// collectiveName returns the reportable name of the collective invoked by
+// call ("comm.Bcast", "(*comm.Comm).Barrier"), or "" if the call is not a
+// collective. Collectives are the methods Barrier and Split on comm.Comm
+// plus every exported package-level comm function whose first parameter is
+// a *comm.Comm — the shape of Bcast, Reduce, Allreduce, Gather, Allgather,
+// Scatter, Alltoall, Scan and their Scalar variants, which keeps the list
+// in sync with the comm API instead of hardcoding names.
+func collectiveName(pass *analysis.Pass, call *ast.CallExpr) string {
+	fn := analysis.Callee(pass.Info, call)
+	if fn == nil || !analysis.ObjPkgIs(fn, "comm") || !fn.Exported() {
+		return ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if recv := sig.Recv(); recv != nil {
+		if analysis.TypeIs(recv.Type(), "comm", "Comm") &&
+			(fn.Name() == "Barrier" || fn.Name() == "Split") {
+			return "(*comm.Comm)." + fn.Name()
+		}
+		return ""
+	}
+	if sig.Params().Len() == 0 {
+		return ""
+	}
+	if !analysis.TypeIs(sig.Params().At(0).Type(), "comm", "Comm") {
+		return ""
+	}
+	return "comm." + fn.Name()
+}
+
+// walker performs the reachability scan. depth counts enclosing
+// rank-dependent conditions; a collective call at depth > 0 is flagged.
+type walker struct {
+	pass     *analysis.Pass
+	tainted  map[types.Object]bool
+	subcomms map[types.Object]bool
+}
+
+func (w *walker) rankDep(e ast.Expr) bool {
+	return e != nil && rankDerived(w.pass, w.tainted, e)
+}
+
+// stmts walks a statement list. Beyond descending into rank-guarded
+// branches, it models the early-return divergence shape: once an
+// `if <rank-dep> { ...; return }` statement has been seen, everything after
+// it in the same list is only reachable on the ranks that did not return,
+// so the remainder of the list is walked guarded.
+func (w *walker) stmts(list []ast.Stmt, depth int) {
+	for i, s := range list {
+		w.stmt(s, depth)
+		if depth == 0 {
+			if ifs, ok := s.(*ast.IfStmt); ok && w.rankDep(ifs.Cond) && divergesByReturn(ifs) {
+				w.stmts(list[i+1:], depth+1)
+				return
+			}
+		}
+	}
+}
+
+// divergesByReturn reports whether any arm of the if-chain ends in a
+// control return, making the code after the chain rank-dependent. Only a
+// bare return or one returning nil/literal constants counts: returning a
+// constructed or propagated error (`return fmt.Errorf(...)`, `return err`)
+// is an abort path — the rank is declaring failure, not steering around the
+// collective — and aborts are outside the symmetry contract.
+func divergesByReturn(ifs *ast.IfStmt) bool {
+	if blockReturns(ifs.Body) {
+		return true
+	}
+	switch e := ifs.Else.(type) {
+	case *ast.BlockStmt:
+		return blockReturns(e)
+	case *ast.IfStmt:
+		return divergesByReturn(e)
+	}
+	return false
+}
+
+func blockReturns(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	ret, ok := b.List[len(b.List)-1].(*ast.ReturnStmt)
+	return ok && controlReturn(ret)
+}
+
+// controlReturn reports whether ret is a control return rather than an
+// error-abort: bare, or returning only nil/true/false and basic literals.
+func controlReturn(ret *ast.ReturnStmt) bool {
+	for _, r := range ret.Results {
+		switch r := ast.Unparen(r).(type) {
+		case *ast.BasicLit:
+		case *ast.Ident:
+			if r.Name != "nil" && r.Name != "true" && r.Name != "false" {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (w *walker) stmt(s ast.Stmt, depth int) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		w.stmts(s.List, depth)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, depth)
+		}
+		d := depth
+		if w.rankDep(s.Cond) {
+			d++
+		} else {
+			w.exprs(depth, s.Cond)
+		}
+		w.stmts(s.Body.List, d)
+		if s.Else != nil {
+			w.stmt(s.Else, d)
+		}
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, depth)
+		}
+		d := depth
+		if w.rankDep(s.Tag) {
+			d++
+		}
+		for _, cc := range s.Body.List {
+			cc := cc.(*ast.CaseClause)
+			cd := d
+			for _, e := range cc.List {
+				if w.rankDep(e) {
+					cd = d + 1
+				}
+			}
+			for _, st := range cc.Body {
+				w.stmt(st, cd)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		ast.Inspect(s, func(n ast.Node) bool { w.checkNode(n, depth); return true })
+	case *ast.SelectStmt:
+		ast.Inspect(s, func(n ast.Node) bool { w.checkNode(n, depth); return true })
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, depth)
+		}
+		d := depth
+		if w.rankDep(s.Cond) {
+			d++
+		}
+		if s.Post != nil {
+			w.stmt(s.Post, d)
+		}
+		w.stmts(s.Body.List, d)
+	case *ast.RangeStmt:
+		d := depth
+		if w.rankDep(s.X) {
+			d++
+		}
+		w.stmts(s.Body.List, d)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, depth)
+	case *ast.GoStmt:
+		w.exprs(depth, s.Call)
+	case *ast.DeferStmt:
+		w.exprs(depth, s.Call)
+	case *ast.ExprStmt:
+		w.exprs(depth, s.X)
+	case *ast.AssignStmt:
+		w.exprs(depth, s.Rhs...)
+		w.exprs(depth, s.Lhs...)
+	case *ast.ReturnStmt:
+		w.exprs(depth, s.Results...)
+	case *ast.DeclStmt:
+		ast.Inspect(s, func(n ast.Node) bool { w.checkNode(n, depth); return true })
+	case *ast.SendStmt:
+		w.exprs(depth, s.Chan, s.Value)
+	case *ast.IncDecStmt:
+		w.exprs(depth, s.X)
+	default:
+		ast.Inspect(s, func(n ast.Node) bool { w.checkNode(n, depth); return true })
+	}
+}
+
+// exprs scans expressions (including nested function literals, which stay at
+// the lexical depth of their definition) for collective calls.
+func (w *walker) exprs(depth int, es ...ast.Expr) {
+	for _, e := range es {
+		if e == nil {
+			continue
+		}
+		ast.Inspect(e, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				w.stmts(lit.Body.List, depth)
+				return false
+			}
+			w.checkNode(n, depth)
+			return true
+		})
+	}
+}
+
+func (w *walker) checkNode(n ast.Node, depth int) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok || depth == 0 {
+		return
+	}
+	name := collectiveName(w.pass, call)
+	if name == "" || w.onSubcomm(call) {
+		return
+	}
+	w.pass.Reportf(call.Pos(),
+		"%s is only reachable under a rank-dependent condition; collectives must be called symmetrically on every rank (divergence deadlock)", name)
+}
+
+// onSubcomm reports whether the collective call operates on a communicator
+// obtained from Split: the receiver for methods, the first argument for
+// package-level collectives.
+func (w *walker) onSubcomm(call *ast.CallExpr) bool {
+	var commExpr ast.Expr
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, isSel := w.pass.Info.Selections[sel]; isSel && s.Kind() == types.MethodVal {
+			commExpr = sel.X
+		}
+	}
+	if commExpr == nil && len(call.Args) > 0 {
+		commExpr = call.Args[0]
+	}
+	id, ok := ast.Unparen(commExpr).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := w.pass.Info.Uses[id]
+	if obj == nil {
+		obj = w.pass.Info.Defs[id]
+	}
+	return obj != nil && w.subcomms[obj]
+}

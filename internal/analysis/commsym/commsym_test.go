@@ -1,0 +1,12 @@
+package commsym_test
+
+import (
+	"testing"
+
+	"odinhpc/internal/analysis/analysistest"
+	"odinhpc/internal/analysis/commsym"
+)
+
+func TestCommsym(t *testing.T) {
+	analysistest.Run(t, "testdata", commsym.Analyzer, "a")
+}

@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"odinhpc/internal/analysis/analysistest"
+	"odinhpc/internal/analysis/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", hotalloc.Analyzer, "a", "dense")
+}

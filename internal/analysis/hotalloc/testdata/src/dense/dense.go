@@ -1,0 +1,22 @@
+// Package dense mirrors the Vec* kernel layer: the fusion VM sweeps these
+// bodies block-by-block, so the entire body of a Vec* function is hot.
+package dense
+
+// VecAddBad allocates inside a Vec kernel.
+func VecAddBad(dst, a, b []float64) {
+	tmp := make([]float64, len(a)) // want `make allocates`
+	for i := range a {
+		tmp[i] = a[i] + b[i]
+	}
+	copy(dst, tmp)
+}
+
+// VecScale is allocation-free: fine.
+func VecScale(dst, a []float64, s float64) {
+	for i := range a {
+		dst[i] = a[i] * s
+	}
+}
+
+// grow is not a Vec* op; allocating here is fine.
+func grow(n int) []float64 { return make([]float64, n) }

@@ -1,0 +1,17 @@
+// Package exec mirrors the engine surface hotalloc keys on: the
+// ParallelFor method and the generic package-level ParallelReduce.
+package exec
+
+// Engine is the fake pool.
+type Engine struct{}
+
+// New returns an engine.
+func New() *Engine { return &Engine{} }
+
+// ParallelFor runs body over chunks of [0, n).
+func (e *Engine) ParallelFor(n int, body func(lo, hi int)) { body(0, n) }
+
+// ParallelReduce folds chunks and combines partials.
+func ParallelReduce[T any](e *Engine, n int, fold func(lo, hi int) T, combine func(a, b T) T) T {
+	return fold(0, n)
+}

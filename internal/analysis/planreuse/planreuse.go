@@ -1,0 +1,116 @@
+// Package planreuse implements the odinvet analyzer that flags concurrent
+// use of types documented single-threaded. tpetra.GatherPlan hoists its
+// pack buffers into the plan (PR 4's 56→40 allocs/op win), which makes a
+// plan cheap to reuse and unsafe to share: two goroutines applying the
+// same plan scribble over the same pack buffers. The race detector only
+// sees the interleaving that actually runs; this analyzer rejects the
+// shape — a shared plan's method called from inside a goroutine — at
+// compile time.
+package planreuse
+
+import (
+	"go/ast"
+	"go/token"
+
+	"odinhpc/internal/analysis"
+)
+
+// singleThreaded registers the (package, type) pairs whose methods must not
+// be called on a value shared across goroutines. Kept in the analyzer (not
+// in a satellite registry) because each entry must cite the documented
+// contract it enforces.
+var singleThreaded = []struct {
+	pkg, typ, contract string
+}{
+	// "The plan's pack buffers are allocated once ... not be applied
+	// concurrently from multiple goroutines on the same rank."
+	{"tpetra", "GatherPlan", "pack buffers are reused across applies"},
+	// Import wraps a GatherPlan and inherits its constraint.
+	{"tpetra", "Import", "wraps a GatherPlan whose pack buffers are reused"},
+	// Export is Import's dual over the reversed maps.
+	{"tpetra", "Export", "wraps a GatherPlan whose pack buffers are reused"},
+}
+
+// Analyzer flags single-threaded plan types used from goroutines.
+var Analyzer = &analysis.Analyzer{
+	Name: "planreuse",
+	Doc: "methods of single-threaded plan types (tpetra.GatherPlan, Import, " +
+		"Export) must not be called on values shared into goroutines; give " +
+		"each goroutine its own plan or serialize the applies",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+			if !ok {
+				// `go plan.Gather(...)` — method value launched directly.
+				checkCall(pass, g.Call, g.Pos(), nil)
+				return true
+			}
+			checkGoroutineBody(pass, lit)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkGoroutineBody flags single-threaded method calls inside the
+// goroutine whose receiver is declared outside the literal (captured, hence
+// potentially shared with the spawner and sibling goroutines). Receivers
+// built inside the goroutine are goroutine-local and fine.
+func checkGoroutineBody(pass *analysis.Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		checkCall(pass, call, call.Pos(), func(recv ast.Expr) bool {
+			id, ok := ast.Unparen(recv).(*ast.Ident)
+			if !ok {
+				return false // field access, index, ... — assume shared
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil {
+				return false
+			}
+			// Declared inside the literal's body means goroutine-local.
+			// Parameters do NOT count: `go func(p *GatherPlan) {...}(plan)`
+			// hands the spawner's plan (or a shallow copy sharing its
+			// buffers) into the goroutine.
+			return obj.Pos() >= lit.Body.Pos() && obj.Pos() <= lit.Body.End()
+		})
+		return true
+	})
+}
+
+// checkCall reports the call if it invokes a method of a registered
+// single-threaded type and isLocal (when provided) does not prove the
+// receiver goroutine-local.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, pos token.Pos, isLocal func(ast.Expr) bool) {
+	fn := analysis.Callee(pass.Info, call)
+	if fn == nil {
+		return
+	}
+	recvType := analysis.RecvTypeName(fn)
+	if recvType == "" {
+		return
+	}
+	for _, st := range singleThreaded {
+		if recvType != st.typ || !analysis.ObjPkgIs(fn, st.pkg) {
+			continue
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && isLocal != nil && isLocal(sel.X) {
+			return
+		}
+		pass.Reportf(pos,
+			"%s.%s.%s called on a goroutine-shared value; %s is single-threaded (%s) — build one per goroutine or serialize the calls",
+			st.pkg, st.typ, fn.Name(), st.typ, st.contract)
+		return
+	}
+}

@@ -1,0 +1,12 @@
+package planreuse_test
+
+import (
+	"testing"
+
+	"odinhpc/internal/analysis/analysistest"
+	"odinhpc/internal/analysis/planreuse"
+)
+
+func TestPlanreuse(t *testing.T) {
+	analysistest.Run(t, "testdata", planreuse.Analyzer, "a")
+}

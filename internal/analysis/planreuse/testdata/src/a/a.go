@@ -1,0 +1,32 @@
+// Package a exercises planreuse: single-threaded plan methods invoked from
+// goroutines on shared values are flagged; same-goroutine use,
+// goroutine-local plans, and //lint:allow exceptions stay quiet.
+package a
+
+import "tpetra"
+
+func shared(plan *tpetra.GatherPlan, im *tpetra.Import, x []float64) {
+	go func() {
+		plan.Gather(x) // want `goroutine-shared`
+	}()
+	go plan.Gather(x) // want `goroutine-shared`
+	go func() {
+		im.Apply(x) // want `goroutine-shared`
+	}()
+	// Passing the plan as a parameter still shares its pack buffers.
+	go func(p *tpetra.GatherPlan) {
+		p.Gather(x) // want `goroutine-shared`
+	}(plan)
+
+	plan.Gather(x) // spawning goroutine's own use: fine
+
+	go func() {
+		local := tpetra.NewPlan()
+		local.Gather(x) // goroutine-local plan: fine
+	}()
+
+	go func() {
+		//lint:allow planreuse applies serialized by the worker semaphore
+		plan.Gather(x)
+	}()
+}

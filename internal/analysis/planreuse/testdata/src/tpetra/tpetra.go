@@ -1,0 +1,22 @@
+// Package tpetra mirrors the single-threaded plan types planreuse guards:
+// a plan's pack buffers are allocated once and reused across applies, so a
+// plan shared between goroutines races on them.
+package tpetra
+
+// GatherPlan reuses its pack buffer across applies.
+type GatherPlan struct{ buf []float64 }
+
+// NewPlan builds a fresh plan.
+func NewPlan() *GatherPlan { return &GatherPlan{} }
+
+// Gather applies the plan.
+func (p *GatherPlan) Gather(x []float64) []float64 { return p.buf }
+
+// Import wraps a GatherPlan and inherits its constraint.
+type Import struct{ plan *GatherPlan }
+
+// NewImport builds an Import.
+func NewImport() *Import { return &Import{plan: NewPlan()} }
+
+// Apply runs the wrapped plan.
+func (im *Import) Apply(x []float64) []float64 { return im.plan.Gather(x) }

@@ -1,0 +1,26 @@
+// Package comm mirrors the point-to-point tag surface of the real fabric:
+// the five tag-taking methods tagcheck keys on, plus constants living in
+// comm's reserved negative range.
+package comm
+
+// AnyTag matches any tag on the receive side; it sits inside comm's
+// reserved negative range, which is fine when declared by the owner.
+const AnyTag = -1
+
+// Comm is the fake communicator.
+type Comm struct{}
+
+// Send delivers data to dst under tag.
+func (c *Comm) Send(dst, tag int, data any) {}
+
+// Recv blocks for a message from src with tag.
+func (c *Comm) Recv(src, tag int) any { return nil }
+
+// RecvMsg is Recv with the full envelope.
+func (c *Comm) RecvMsg(src, tag int) any { return nil }
+
+// Probe reports whether a matching message is queued.
+func (c *Comm) Probe(src, tag int) bool { return false }
+
+// SendRecv exchanges payloads; the tag is the fourth argument.
+func (c *Comm) SendRecv(dst int, data any, src, tag int) any { return nil }

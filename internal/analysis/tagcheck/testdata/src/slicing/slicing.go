@@ -1,0 +1,13 @@
+// Package slicing owns the halo-exchange reservation: its own use of
+// HaloTag must not be flagged (rule 2's owner exemption).
+package slicing
+
+import "comm"
+
+// HaloTag is the reserved halo-exchange tag, mirroring the real constant.
+const HaloTag = 1<<30 + 7
+
+func exchange(c *comm.Comm, buf []float64) {
+	c.Send(1, HaloTag, buf) // owner package: fine
+	c.Recv(0, HaloTag)      // fine
+}

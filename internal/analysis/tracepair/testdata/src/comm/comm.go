@@ -1,0 +1,83 @@
+// Package comm mirrors the Send accounting/tracing pairing for tracepair
+// rule 2: every KindSend emission must keep a stats record call adjacent,
+// at some enclosing block level.
+package comm
+
+// Event mirrors trace.Event.
+type Event struct {
+	Kind  int
+	Peer  int
+	Bytes int64
+}
+
+// KindSend mirrors trace.KindSend.
+const KindSend = 2
+
+// KindRecv mirrors trace.KindRecv.
+const KindRecv = 3
+
+type session struct{}
+
+func (s *session) Emit(e Event) {}
+
+func active() *session { return nil }
+
+type stats struct{}
+
+func (st *stats) record(src, dst int, n int64) {}
+
+// Comm carries the stats sink.
+type Comm struct {
+	st   stats
+	rank int
+}
+
+// goodSend mirrors the real Send: record, then emit under the trace guard —
+// adjacency holds at the outer block level.
+func (c *Comm) goodSend(dst int, n int64) {
+	c.st.record(c.rank, dst, n)
+	if s := active(); s != nil {
+		s.Emit(Event{Kind: KindSend, Peer: dst, Bytes: n})
+	}
+}
+
+// inlineSend keeps both calls as direct siblings.
+func (c *Comm) inlineSend(dst int, n int64) {
+	if s := active(); s != nil {
+		c.st.record(c.rank, dst, n)
+		s.Emit(Event{Kind: KindSend, Peer: dst, Bytes: n})
+	}
+}
+
+// recvEmit emits KindRecv; rule 2 only polices sends.
+func (c *Comm) recvEmit(src int, n int64) {
+	if s := active(); s != nil {
+		s.Emit(Event{Kind: KindRecv, Peer: src, Bytes: n})
+	}
+}
+
+// driftedSend lost its record pairing in a refactor.
+func (c *Comm) driftedSend(dst int, n int64) {
+	if s := active(); s != nil {
+		s.Emit(Event{Kind: KindSend, Peer: dst, Bytes: n}) // want `adjacent stats.record`
+	}
+}
+
+// farSend records too far away: intervening statements break adjacency.
+func (c *Comm) farSend(dst int, n int64) {
+	c.st.record(c.rank, dst, n)
+	dst = dst + 0
+	n = n + 0
+	if s := active(); s != nil {
+		s.Emit(Event{Kind: KindSend, Peer: dst, Bytes: n}) // want `adjacent stats.record`
+	}
+}
+
+// allowedSend is a deliberate exception: a retransmit emission whose
+// accounting happened at the original send site.
+func (c *Comm) allowedSend(dst int, n int64) {
+	if s := active(); s != nil {
+		//lint:allow tracepair retransmit event; the original send recorded it
+		s.Emit(Event{Kind: KindSend, Peer: dst, Bytes: n})
+	}
+}

@@ -17,6 +17,15 @@ import (
 
 var chaosSizes = []int{1, 2, 4}
 
+// Named tags for the chaos scenarios; tagcheck (odinvet) requires message
+// tags to be named constants.
+const (
+	tagToken = 77  // token-ring payload riding between barriers
+	tagNever = 404 // never sent by anyone: bait for the Recv watchdog
+	tagStuck = 7   // waiting on the stuck rank exercises the abort latch
+	tagDrop  = 9   // payload subjected to the drop plan
+)
+
 func errorsAs(err error, target **comm.FaultError) bool { return errors.As(err, target) }
 
 func chaosTimeout() <-chan time.Time { return time.After(chaostest.Watchdog) }
@@ -38,7 +47,7 @@ func TestChaosCollectives(t *testing.T) {
 			// Token ring on top of the barriers: rank r sends to r+1.
 			right := (c.Rank() + 1) % c.Size()
 			left := (c.Rank() - 1 + c.Size()) % c.Size()
-			token := c.SendRecv(right, []int{c.Rank()}, left, 77).([]int)
+			token := c.SendRecv(right, []int{c.Rank()}, left, tagToken).([]int)
 			c.Barrier()
 			return token, nil
 		}},
@@ -168,10 +177,10 @@ func TestChaosRecvTimeoutWatchdog(t *testing.T) {
 		done := make(chan error, 1)
 		go func() {
 			_, err := comm.RunConfig(size, comm.Config{Faults: plan}, func(c *comm.Comm) error {
-				// Tag 404 is never sent by anyone: the first watchdog to
+				// tagNever is never sent by anyone: the first watchdog to
 				// expire aborts the session and the abort latch wakes the
 				// remaining ranks — a typed error everywhere, never a hang.
-				c.Recv(comm.AnySource, 404)
+				c.Recv(comm.AnySource, tagNever)
 				return nil
 			})
 			done <- err
@@ -206,9 +215,9 @@ func TestChaosRecvTimeoutWakesPeers(t *testing.T) {
 	go func() {
 		stats, err := comm.RunConfig(size, comm.Config{Faults: plan}, func(c *comm.Comm) error {
 			if c.Rank() == size-1 {
-				c.Recv(comm.AnySource, 404) // never sent: watchdog must fire
+				c.Recv(comm.AnySource, tagNever) // never sent: watchdog must fire
 			} else {
-				c.Recv(size-1, 7) // blocked on the stuck rank: latch must wake it
+				c.Recv(size-1, tagStuck) // blocked on the stuck rank: latch must wake it
 			}
 			return nil
 		})
@@ -237,9 +246,9 @@ func TestChaosDropLimitSurfacesTyped(t *testing.T) {
 	plan := &comm.FaultPlan{Seed: 3, DropProb: 1.0, MaxRetries: 2}
 	_, err := comm.RunConfig(2, comm.Config{Faults: plan}, func(c *comm.Comm) error {
 		if c.Rank() == 0 {
-			c.Send(1, 9, []float64{1, 2, 3})
+			c.Send(1, tagDrop, []float64{1, 2, 3})
 		} else {
-			c.Recv(0, 9)
+			c.Recv(0, tagDrop)
 		}
 		return nil
 	})

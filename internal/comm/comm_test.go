@@ -13,6 +13,23 @@ import (
 // sizes exercised by most collective tests, including non-powers of two.
 var testSizes = []int{1, 2, 3, 4, 5, 7, 8, 16}
 
+// Named point-to-point tags for the tests in this package (shared with
+// split_test.go). tagcheck (odinvet) requires message tags to be named
+// constants so collisions with the reserved ranges registered in
+// internal/analysis/tagregistry stay visible at the declaration site.
+const (
+	tagData   = 0 // primary data stream
+	tagCtl    = 1 // secondary stream paired with tagData
+	tagAux    = 2 // third stream (worker <-> worker legs)
+	tagSelLo  = 3 // tag-selectivity triple, received lo..hi
+	tagSelMid = 4
+	tagSelHi  = 5
+	tagPing   = 7  // one-off payload exchanges
+	tagProbe  = 9  // probe/RecvMsg pairing
+	tagXchg   = 11 // SendRecv exchange
+	tagSelf   = 42 // send-to-self loopback
+)
+
 func TestRunInvalidSize(t *testing.T) {
 	if err := Run(0, func(c *Comm) error { return nil }); err == nil {
 		t.Fatal("Run(0) should fail")
@@ -67,10 +84,10 @@ func TestRunRecoversPanic(t *testing.T) {
 func TestSendRecvBasic(t *testing.T) {
 	err := Run(2, func(c *Comm) error {
 		if c.Rank() == 0 {
-			c.Send(1, 7, []float64{1, 2, 3})
+			c.Send(1, tagPing, []float64{1, 2, 3})
 			return nil
 		}
-		got := c.Recv(0, 7).([]float64)
+		got := c.Recv(0, tagPing).([]float64)
 		want := []float64{1, 2, 3}
 		if !reflect.DeepEqual(got, want) {
 			return fmt.Errorf("got %v want %v", got, want)
@@ -86,13 +103,13 @@ func TestSendCopiesSlices(t *testing.T) {
 	err := Run(2, func(c *Comm) error {
 		if c.Rank() == 0 {
 			buf := []float64{1, 2, 3}
-			c.Send(1, 0, buf)
+			c.Send(1, tagData, buf)
 			buf[0] = 99 // must not be visible at receiver
-			c.Send(1, 1, []byte{1})
+			c.Send(1, tagCtl, []byte{1})
 			return nil
 		}
-		got := c.Recv(0, 0).([]float64)
-		c.Recv(0, 1)
+		got := c.Recv(0, tagData).([]float64)
+		c.Recv(0, tagCtl)
 		if got[0] != 1 {
 			return fmt.Errorf("receiver saw sender mutation: %v", got)
 		}
@@ -107,12 +124,12 @@ func TestRecvTagSelectivity(t *testing.T) {
 	// Messages must be matched by tag even when delivered out of order.
 	err := Run(2, func(c *Comm) error {
 		if c.Rank() == 0 {
-			c.Send(1, 5, []int{5})
-			c.Send(1, 4, []int{4})
-			c.Send(1, 3, []int{3})
+			c.Send(1, tagSelHi, []int{tagSelHi})
+			c.Send(1, tagSelMid, []int{tagSelMid})
+			c.Send(1, tagSelLo, []int{tagSelLo})
 			return nil
 		}
-		for _, tag := range []int{3, 4, 5} {
+		for _, tag := range []int{tagSelLo, tagSelMid, tagSelHi} {
 			got := c.Recv(0, tag).([]int)
 			if got[0] != tag {
 				return fmt.Errorf("tag %d delivered %v", tag, got)
@@ -153,12 +170,12 @@ func TestRecvAnySourceAnyTag(t *testing.T) {
 func TestProbe(t *testing.T) {
 	err := Run(2, func(c *Comm) error {
 		if c.Rank() == 0 {
-			c.Send(1, 9, []int{1})
+			c.Send(1, tagProbe, []int{1})
 			return nil
 		}
 		// Wait for the message to arrive, then probe.
-		got := c.RecvMsg(0, 9)
-		if c.Probe(0, 9) {
+		got := c.RecvMsg(0, tagProbe)
+		if c.Probe(0, tagProbe) {
 			return errors.New("Probe true after queue drained")
 		}
 		_ = got
@@ -172,7 +189,7 @@ func TestProbe(t *testing.T) {
 func TestSendRecvExchange(t *testing.T) {
 	err := Run(2, func(c *Comm) error {
 		other := 1 - c.Rank()
-		got := c.SendRecv(other, []int{c.Rank()}, other, 11).([]int)
+		got := c.SendRecv(other, []int{c.Rank()}, other, tagXchg).([]int)
 		if got[0] != other {
 			return fmt.Errorf("rank %d got %v", c.Rank(), got)
 		}
@@ -185,7 +202,7 @@ func TestSendRecvExchange(t *testing.T) {
 
 func TestSendInvalidRankPanics(t *testing.T) {
 	err := Run(1, func(c *Comm) error {
-		c.Send(5, 0, []int{1})
+		c.Send(5, tagData, []int{1})
 		return nil
 	})
 	if err == nil {
@@ -519,9 +536,9 @@ func TestExclusiveScanScalarProdZero(t *testing.T) {
 func TestStatsAccounting(t *testing.T) {
 	stats, err := RunStats(2, func(c *Comm) error {
 		if c.Rank() == 0 {
-			c.Send(1, 0, make([]float64, 100)) // 800 bytes
+			c.Send(1, tagData, make([]float64, 100)) // 800 bytes
 		} else {
-			c.Recv(0, 0)
+			c.Recv(0, tagData)
 		}
 		return nil
 	})
@@ -547,14 +564,14 @@ func TestStatsMasterVsWorker(t *testing.T) {
 	stats, err := RunStats(3, func(c *Comm) error {
 		switch c.Rank() {
 		case 0:
-			c.Send(1, 0, make([]byte, 10))
-			c.Recv(2, 1)
+			c.Send(1, tagData, make([]byte, 10))
+			c.Recv(2, tagCtl)
 		case 1:
-			c.Recv(0, 0)
-			c.Send(2, 2, make([]byte, 1000)) // worker <-> worker
+			c.Recv(0, tagData)
+			c.Send(2, tagAux, make([]byte, 1000)) // worker <-> worker
 		case 2:
-			c.Recv(1, 2)
-			c.Send(0, 1, make([]byte, 20))
+			c.Recv(1, tagAux)
+			c.Send(0, tagCtl, make([]byte, 20))
 		}
 		return nil
 	})
@@ -573,9 +590,9 @@ func TestStatsMasterVsWorker(t *testing.T) {
 func TestStatsReset(t *testing.T) {
 	stats, err := RunStats(2, func(c *Comm) error {
 		if c.Rank() == 0 {
-			c.Send(1, 0, []byte{1, 2, 3})
+			c.Send(1, tagData, []byte{1, 2, 3})
 		} else {
-			c.Recv(0, 0)
+			c.Recv(0, tagData)
 		}
 		c.Barrier()
 		if c.Rank() == 0 {
@@ -605,12 +622,12 @@ func TestCostModel(t *testing.T) {
 	}
 	_, err := RunModel(2, m, func(c *Comm) error {
 		if c.Rank() == 0 {
-			c.Send(1, 0, make([]byte, 1000))
+			c.Send(1, tagData, make([]byte, 1000))
 			if !approx(c.SimTime(), 2e-6) {
 				return fmt.Errorf("sender SimTime=%g", c.SimTime())
 			}
 		} else {
-			c.Recv(0, 0)
+			c.Recv(0, tagData)
 			if !approx(c.SimTime(), 2e-6) {
 				return fmt.Errorf("receiver SimTime=%g", c.SimTime())
 			}
@@ -670,9 +687,9 @@ func TestOpString(t *testing.T) {
 func TestStatsSnapshotString(t *testing.T) {
 	stats, err := RunStats(2, func(c *Comm) error {
 		if c.Rank() == 0 {
-			c.Send(1, 0, []byte{1})
+			c.Send(1, tagData, []byte{1})
 		} else {
-			c.Recv(0, 0)
+			c.Recv(0, tagData)
 		}
 		return nil
 	})
@@ -689,8 +706,8 @@ func TestStatsSnapshotString(t *testing.T) {
 // namespaces never collide between consecutive operations.
 func TestSendToSelf(t *testing.T) {
 	err := Run(3, func(c *Comm) error {
-		c.Send(c.Rank(), 42, []int{c.Rank() * 7})
-		got := c.Recv(c.Rank(), 42).([]int)
+		c.Send(c.Rank(), tagSelf, []int{c.Rank() * 7})
+		got := c.Recv(c.Rank(), tagSelf).([]int)
 		if got[0] != c.Rank()*7 {
 			return fmt.Errorf("self-send got %v", got)
 		}

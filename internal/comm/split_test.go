@@ -181,9 +181,9 @@ func TestSplitStatsAttribution(t *testing.T) {
 		AllreduceScalar(c, 1, OpSum)
 		sub := c.Split(c.Rank()/2, 0)
 		if c.Rank()%2 == 0 {
-			sub.Send(1, 5, make([]float64, 100))
+			sub.Send(1, tagData, make([]float64, 100))
 		} else {
-			sub.Recv(0, 5)
+			sub.Recv(0, tagData)
 		}
 		sub.Barrier()
 		snap := sub.Stats()
@@ -216,9 +216,9 @@ func TestSplitTrafficIsolated(t *testing.T) {
 		c.Barrier()
 		// Heavy subgroup traffic.
 		if sub.Rank() == 0 {
-			sub.Send(1, 0, make([]float64, 1000))
+			sub.Send(1, tagData, make([]float64, 1000))
 		} else {
-			sub.Recv(0, 0)
+			sub.Recv(0, tagData)
 		}
 		return nil
 	})

@@ -22,9 +22,11 @@ import (
 	"odinhpc/internal/dense"
 )
 
-// ctrlTag is the reserved point-to-point tag for ODIN control messages sent
+// CtrlTag is the reserved point-to-point tag for ODIN control messages sent
 // from the master (rank 0) to workers, mirroring the paper's Fig. 1 star.
-const ctrlTag = 1 << 30
+// Exported so the odinvet tag registry (internal/analysis/tagregistry) can
+// register the control-plane reservation from source.
+const CtrlTag = 1 << 30
 
 // OpCode identifies a global operation in a control message.
 type OpCode byte
@@ -119,14 +121,14 @@ func (ctx *Context) Control(op OpCode, params ...int64) []byte {
 	}
 	if ctx.c.Rank() == 0 {
 		for r := 1; r < ctx.c.Size(); r++ {
-			ctx.c.Send(r, ctrlTag, buf)
+			ctx.c.Send(r, CtrlTag, buf)
 		}
 		ctx.mu.Lock()
 		ctx.ctrlMsgs += ctx.c.Size() - 1
 		ctx.ctrlBytes += int64(len(buf)) * int64(ctx.c.Size()-1)
 		ctx.mu.Unlock()
 	} else {
-		got := ctx.c.Recv(0, ctrlTag).([]byte)
+		got := ctx.c.Recv(0, CtrlTag).([]byte)
 		ctx.mu.Lock()
 		ctx.ctrlMsgs++
 		ctx.ctrlBytes += int64(len(got))

@@ -11,14 +11,21 @@ cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
-go test ./...
-go test -race ./internal/comm ./internal/core ./internal/exec
 
-# Fusion-equivalence pass: the register VM must stay bitwise identical to
-# the closure reference evaluator and the naive path across worker-pool
-# sizes, rank counts, and block sizes — under the race detector, since the
-# block sweep shares compiled programs across pool workers.
-go test -race ./internal/fusion
+# Domain invariants: the odinvet multichecker (internal/analysis) enforces
+# collective symmetry, tag hygiene, hot-kernel allocation bans, span/stats
+# pairing, and plan single-threadedness. Run from source — no install step —
+# and fail hard on any finding (see DESIGN.md "Static analysis").
+go run ./cmd/odinvet ./...
+
+go test ./...
+
+# Race pass over every concurrency-bearing package: the comm fabric, the
+# rank/context layer, the exec pool, the fusion VM (whose block sweep shares
+# compiled programs across pool workers and must stay bitwise identical to
+# the reference evaluators), the tpetra distributed kernels, and the trace
+# ring (all ranks emit into a shared session).
+go test -race ./internal/comm ./internal/core ./internal/exec ./internal/fusion ./internal/tpetra ./internal/trace
 
 # Chaos conformance: replay collectives and distributed kernels under seeded
 # fault plans, twice, under the race detector — results must be bitwise
