@@ -26,11 +26,13 @@ import (
 )
 
 // baseline mirrors the shared shape of the BENCH_*.json files: a benchmark
-// name plus result rows keyed either kernel/threads (BenchmarkExecScaling)
-// or depth/block (BenchmarkFusionVM).
+// name plus result rows keyed either by an explicit sub-benchmark path
+// (BENCH_comm.json), or kernel/threads (BenchmarkExecScaling), or
+// depth/block (BenchmarkFusionVM).
 type baseline struct {
 	Benchmark string `json:"benchmark"`
 	Results   []struct {
+		Sub     string `json:"sub"`
 		Kernel  string `json:"kernel"`
 		Threads int    `json:"threads"`
 		Depth   int    `json:"depth"`
@@ -40,8 +42,12 @@ type baseline struct {
 }
 
 // subKey renders the sub-benchmark path a baseline row corresponds to,
-// matching the b.Run names in bench_test.go.
-func subKey(kernel string, threads, depth, block int) string {
+// matching the b.Run names in bench_test.go. An explicit sub path wins;
+// the keyed forms remain for the older baseline files.
+func subKey(sub, kernel string, threads, depth, block int) string {
+	if sub != "" {
+		return sub
+	}
 	if kernel != "" {
 		return fmt.Sprintf("%s/threads=%d", kernel, threads)
 	}
@@ -73,7 +79,7 @@ func main() {
 	}
 	want := map[string]int64{}
 	for _, r := range base.Results {
-		want[base.Benchmark+"/"+subKey(r.Kernel, r.Threads, r.Depth, r.Block)] = r.NsPerOp
+		want[base.Benchmark+"/"+subKey(r.Sub, r.Kernel, r.Threads, r.Depth, r.Block)] = r.NsPerOp
 	}
 
 	seen := 0

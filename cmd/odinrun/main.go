@@ -9,6 +9,14 @@
 //	odinrun -ranks 8 redist      redistribution between layouts (§III.D)
 //	odinrun -ranks 8 io          parallel save/load round trip (§III.H)
 //	odinrun -ranks 8 traffic     traffic matrix of a stencil sweep (Fig. 1)
+//	odinrun -ranks 8 cg          distributed CG solve on a 1-D Laplacian
+//
+// The wire is selectable. -transport=tcp moves every message over real
+// loopback sockets (still one process); adding -np=N instead launches N OS
+// processes, one rank each, wired together by the comm/launch rendezvous:
+//
+//	odinrun -transport=tcp -ranks 4 cg       sockets, one process
+//	odinrun -transport=tcp -np 4 cg          sockets, four processes
 package main
 
 import (
@@ -20,23 +28,61 @@ import (
 	"path/filepath"
 
 	"odinhpc/internal/comm"
+	"odinhpc/internal/comm/launch"
 	"odinhpc/internal/core"
 	"odinhpc/internal/dense"
 	"odinhpc/internal/distmap"
+	"odinhpc/internal/galeri"
 	"odinhpc/internal/iodist"
 	"odinhpc/internal/slicing"
+	"odinhpc/internal/solvers"
+	"odinhpc/internal/tpetra"
 	"odinhpc/internal/ufunc"
 )
 
 func main() {
-	ranks := flag.Int("ranks", 4, "number of simulated MPI ranks")
+	ranks := flag.Int("ranks", 4, "number of simulated MPI ranks (single-process modes)")
 	n := flag.Int("n", 1_000_000, "global array length")
+	transport := flag.String("transport", "", `comm transport: "inproc" (default) or "tcp"`)
+	np := flag.Int("np", 0, "launch N OS processes, one rank each (requires -transport=tcp)")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: odinrun [-ranks P] [-n N] <fd|hypot|redist|io|traffic>")
+		fmt.Fprintln(os.Stderr, "usage: odinrun [-ranks P] [-n N] [-transport inproc|tcp] [-np N] <fd|hypot|redist|io|traffic|cg>")
 		os.Exit(2)
 	}
 	demo := flag.Arg(0)
+
+	// A worker process re-runs this same argv with the launch environment
+	// set; it executes exactly one rank of the session and exits.
+	if launch.IsWorker() {
+		body, err := multiprocBody(demo, *n)
+		if err == nil {
+			_, err = launch.Worker(comm.Config{}, body)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *np > 0 {
+		if *transport != "tcp" {
+			log.Fatal("odinrun: -np requires -transport=tcp (inproc ranks cannot span processes)")
+		}
+		if _, err := multiprocBody(demo, *n); err != nil {
+			log.Fatal(err)
+		}
+		if err := launch.Run(*np, os.Args[1:]); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	// Single process: the transport choice rides the environment so every
+	// demo's comm.Run picks it up without threading a config through.
+	if *transport != "" {
+		os.Setenv(comm.TransportEnv, *transport)
+	}
 	var err error
 	switch demo {
 	case "fd":
@@ -49,6 +95,8 @@ func main() {
 		err = ioDemo(*ranks, *n)
 	case "traffic":
 		err = traffic(*ranks, *n)
+	case "cg":
+		err = cg(*ranks, *n)
 	default:
 		err = fmt.Errorf("unknown demo %q", demo)
 	}
@@ -57,18 +105,38 @@ func main() {
 	}
 }
 
-func fd(p, n int) error {
-	stats, err := comm.RunStats(p, func(c *comm.Comm) error {
+// multiprocBody returns the rank body of a demo that works with ranks in
+// separate OS processes. Demos touching host-shared state (io's temp file,
+// redist's exactness check against a shared source) stay single-process.
+func multiprocBody(demo string, n int) (func(c *comm.Comm) error, error) {
+	switch demo {
+	case "cg":
+		return cgBody(n), nil
+	case "fd":
+		return fdBody(n), nil
+	case "hypot":
+		return hypotBody(n), nil
+	default:
+		return nil, fmt.Errorf("demo %q does not support -np (multi-process); use cg, fd, or hypot", demo)
+	}
+}
+
+func fdBody(n int) func(c *comm.Comm) error {
+	return func(c *comm.Comm) error {
 		ctx := core.NewContext(c)
 		x := core.Linspace[float64](ctx, 0, 2*math.Pi, n)
 		y := ufunc.Sin(x)
 		dy := slicing.Diff(y)
 		mx := ufunc.Max(dy)
 		if c.Rank() == 0 {
-			fmt.Printf("fd: n=%d ranks=%d max(dy)=%.3e\n", n, p, mx)
+			fmt.Printf("fd: n=%d ranks=%d transport=%s max(dy)=%.3e\n", n, c.Size(), c.Transport(), mx)
 		}
 		return nil
-	})
+	}
+}
+
+func fd(p, n int) error {
+	stats, err := comm.RunStats(p, fdBody(n))
 	if err != nil {
 		return err
 	}
@@ -76,8 +144,8 @@ func fd(p, n int) error {
 	return nil
 }
 
-func hypot(p, n int) error {
-	return comm.Run(p, func(c *comm.Comm) error {
+func hypotBody(n int) func(c *comm.Comm) error {
+	return func(c *comm.Comm) error {
 		ctx := core.NewContext(c)
 		ctx.RegisterLocal("hypot", func(c *comm.Comm, locals ...*dense.Array[float64]) *dense.Array[float64] {
 			return dense.Binary(locals[0], locals[1], math.Hypot)
@@ -90,10 +158,49 @@ func hypot(p, n int) error {
 		}
 		mean := ufunc.Mean(h)
 		if c.Rank() == 0 {
-			fmt.Printf("hypot: n=%d ranks=%d mean=%.6f (expect ~0.765)\n", n, p, mean)
+			fmt.Printf("hypot: n=%d ranks=%d mean=%.6f (expect ~0.765)\n", n, c.Size(), mean)
 		}
 		return nil
-	})
+	}
+}
+
+func hypot(p, n int) error {
+	return comm.Run(p, hypotBody(n))
+}
+
+// cgBody solves the 1-D Laplacian system A x = b with unpreconditioned CG on
+// whatever communicator it is handed — simulated ranks, loopback sockets, or
+// one OS process per rank. The aggregated traffic matrix is Allreduced at the
+// end so the numbers printed by rank 0 cover the whole world even when each
+// process only sees its own sends.
+func cgBody(n int) func(c *comm.Comm) error {
+	return func(c *comm.Comm) error {
+		m := distmap.NewBlock(n, c.Size())
+		a := galeri.Laplace1DDist(c, m)
+		b := tpetra.NewVector(c, m)
+		b.FillFromGlobal(func(g int) float64 { return 1 + float64(g%7)*0.25 })
+		x := tpetra.NewVector(c, m)
+		res, err := solvers.CG(a, b, x, solvers.Options{Tol: 1e-10, MaxIter: 2 * n})
+		if err != nil {
+			return err
+		}
+		if !res.Converged {
+			return fmt.Errorf("cg: %s", res)
+		}
+		full := x.GatherAll()
+		c.Barrier() // settle in-flight sends so the snapshot is exact
+		snap := comm.GlobalStats(c)
+		if c.Rank() == 0 {
+			fmt.Printf("cg: n=%d ranks=%d transport=%s %s\n", n, c.Size(), c.Transport(), res)
+			fmt.Printf("cg: x[0]=%.6f x[n/2]=%.6f x[n-1]=%.6f\n", full[0], full[n/2], full[n-1])
+			fmt.Printf("cg: total traffic: %d messages, %d bytes\n", snap.TotalMsgs(), snap.TotalBytes())
+		}
+		return nil
+	}
+}
+
+func cg(p, n int) error {
+	return comm.Run(p, cgBody(n))
 }
 
 func redist(p, n int) error {

@@ -67,6 +67,18 @@ func allowed(c *comm.Comm) {
 	}
 }
 
+// transportGuard branches on the transport name. Every rank of a session
+// runs the same transport, so the guard is uniform across ranks — not
+// rank-derived taint — and collectives under it stay symmetric. This is the
+// negative control for transport-conditional code paths (e.g. demos that
+// print differently over tcp): commsym must stay quiet.
+func transportGuard(c *comm.Comm, buf []float64) {
+	if c.Transport() == "tcp" {
+		c.Barrier() // uniform guard: fine
+		comm.Bcast(c, 0, buf)
+	}
+}
+
 // watchdogShape mirrors the PR-2 Recv-watchdog self-deadlock scenario: the
 // last rank waits on a tag nobody sends while its peers block on the stuck
 // rank. Asymmetric point-to-point receives under rank guards are exactly

@@ -24,6 +24,10 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the communicator size.
 func (c *Comm) Size() int { return c.size }
 
+// Transport names the wire implementation — identical on every rank, so
+// unlike Rank it is not a taint source.
+func (c *Comm) Transport() string { return "inproc" }
+
 // Barrier is a collective.
 func (c *Comm) Barrier() {}
 

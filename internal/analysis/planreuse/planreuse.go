@@ -29,6 +29,13 @@ var singleThreaded = []struct {
 	{"tpetra", "Import", "wraps a GatherPlan whose pack buffers are reused"},
 	// Export is Import's dual over the reversed maps.
 	{"tpetra", "Export", "wraps a GatherPlan whose pack buffers are reused"},
+	// "push hands the frame to the connection's writer goroutine" — the tcp
+	// transport gives each peer connection exactly one reader and one writer
+	// goroutine that own its streams and reused buffers. Those two sanctioned
+	// launches carry lint:allow at the spawn site (tcpEndpoint.start); any
+	// other goroutine touching a shared connection is the unlocked-shared-
+	// writer shape this entry rejects.
+	{"comm", "tcpConn", "each connection's streams and buffers belong to one reader and one writer goroutine"},
 }
 
 // Analyzer flags single-threaded plan types used from goroutines.

@@ -8,5 +8,5 @@ import (
 )
 
 func TestPlanreuse(t *testing.T) {
-	analysistest.Run(t, "testdata", planreuse.Analyzer, "a")
+	analysistest.Run(t, "testdata", planreuse.Analyzer, "a", "comm")
 }

@@ -86,3 +86,53 @@ func BenchmarkAlltoall(b *testing.B) {
 		})
 	}
 }
+
+// benchTagHalo tags the neighbor exchange of the transport benchmark.
+const benchTagHalo = 900
+
+// BenchmarkCommTransport measures the same three communication patterns —
+// broadcast, allreduce, and a nearest-neighbor halo exchange — over the
+// in-process fabric and over real loopback sockets, so the cost of the wire
+// (codec + syscalls + scheduler handoff) is visible as the inproc/tcp ratio
+// per row. Payloads are 8 KiB of float64, the halo 1 KiB per side.
+// Baselines are pinned in BENCH_comm.json and gated by benchguard.
+func BenchmarkCommTransport(b *testing.B) {
+	ops := []struct {
+		name string
+		body func(c *Comm, buf, halo []float64)
+	}{
+		{"bcast", func(c *Comm, buf, _ []float64) { Bcast(c, 0, buf) }},
+		{"allreduce", func(c *Comm, buf, _ []float64) { Allreduce(c, buf, OpSum) }},
+		{"halo", func(c *Comm, _, halo []float64) {
+			right := (c.Rank() + 1) % c.Size()
+			left := (c.Rank() - 1 + c.Size()) % c.Size()
+			c.SendRecv(right, halo, left, benchTagHalo)
+		}},
+	}
+	for _, transport := range []string{"inproc", "tcp"} {
+		for _, op := range ops {
+			for _, p := range []int{2, 4} {
+				b.Run(fmt.Sprintf("op=%s/transport=%s/P=%d", op.name, transport, p), func(b *testing.B) {
+					_, err := RunConfig(p, Config{Transport: transport}, func(c *Comm) error {
+						buf := make([]float64, 1024)
+						halo := make([]float64, 128)
+						for i := range buf {
+							buf[i] = float64(c.Rank() + i)
+						}
+						c.Barrier()
+						if c.Rank() == 0 {
+							b.ResetTimer()
+						}
+						for i := 0; i < b.N; i++ {
+							op.body(c, buf, halo)
+						}
+						return nil
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}

@@ -101,18 +101,32 @@ func watchedRun(t *testing.T, label string, size int, cfg comm.Config, k Kernel)
 
 // Run replays every kernel at every size under the full plan matrix and
 // asserts the chaos contract. The fault-free reference run must succeed.
+// The transport comes from the environment (ODINHPC_TRANSPORT), so one
+// `ODINHPC_TRANSPORT=tcp go test` pass replays every registered kernel over
+// real sockets; use RunOn to pin a transport explicitly.
 func Run(t *testing.T, sizes []int, seed int64, kernels ...Kernel) {
+	t.Helper()
+	RunOn(t, "", sizes, seed, kernels...)
+}
+
+// RunOn is Run with the transport pinned ("inproc", "tcp"; empty defers to
+// the environment). The reference run rides the same transport as the fault
+// runs, so the contract is checked wire-for-wire.
+func RunOn(t *testing.T, transport string, sizes []int, seed int64, kernels ...Kernel) {
 	t.Helper()
 	for _, k := range kernels {
 		for _, size := range sizes {
 			label := fmt.Sprintf("%s/P=%d", k.Name, size)
-			ref := watchedRun(t, label+"/reference", size, comm.Config{}, k)
+			if transport != "" {
+				label = transport + "/" + label
+			}
+			ref := watchedRun(t, label+"/reference", size, comm.Config{Transport: transport}, k)
 			if ref.err != nil {
 				t.Fatalf("%s: fault-free reference run failed: %v", label, ref.err)
 			}
 			for _, cs := range Plans(seed, size) {
 				cl := label + "/" + cs.Name
-				out := watchedRun(t, cl, size, comm.Config{Faults: cs.Plan}, k)
+				out := watchedRun(t, cl, size, comm.Config{Transport: transport, Faults: cs.Plan}, k)
 				if out.err != nil {
 					var fe *comm.FaultError
 					if !errors.As(out.err, &fe) {

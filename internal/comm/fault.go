@@ -47,6 +47,11 @@ const (
 	// FaultPeerFailed is raised by ranks observing that another rank
 	// already failed; Cause holds the originating fault when known.
 	FaultPeerFailed
+	// FaultTransport is raised when the wire itself fails — a socket reset,
+	// an unexpected EOF, a handshake mismatch. Wire holds the underlying
+	// *TransportError, letting callers distinguish a real connection failure
+	// from an injected fault with the same errors.As call.
+	FaultTransport
 )
 
 func (k FaultKind) String() string {
@@ -59,14 +64,19 @@ func (k FaultKind) String() string {
 		return "timeout"
 	case FaultPeerFailed:
 		return "peer-failed"
+	case FaultTransport:
+		return "transport"
 	}
 	return fmt.Sprintf("FaultKind(%d)", int(k))
 }
 
-// FaultError is the typed error every injected failure surfaces as. Rank is
-// the rank raising the error, Peer the counterpart involved (message
-// destination for drop limits, awaited source for timeouts; -1 when not
-// applicable). Cause carries the originating fault for FaultPeerFailed.
+// FaultError is the typed error every session failure surfaces as — injected
+// faults and, on remote transports, real wire failures alike. Rank is the
+// rank raising the error, Peer the counterpart involved (message destination
+// for drop limits, awaited source for timeouts, remote world rank for
+// transport failures; -1 when not applicable). Cause carries the originating
+// fault for FaultPeerFailed; Wire carries the socket-level error for
+// FaultTransport.
 type FaultError struct {
 	Kind  FaultKind
 	Rank  int
@@ -74,6 +84,7 @@ type FaultError struct {
 	Tag   int
 	Seed  int64
 	Cause *FaultError
+	Wire  *TransportError
 }
 
 func (e *FaultError) Error() string {
@@ -89,13 +100,22 @@ func (e *FaultError) Error() string {
 			return fmt.Sprintf("comm: fault(seed %d): rank %d aborted, peer failed: %v", e.Seed, e.Rank, e.Cause)
 		}
 		return fmt.Sprintf("comm: fault(seed %d): rank %d aborted, peer failed", e.Seed, e.Rank)
+	case FaultTransport:
+		if e.Wire != nil {
+			return fmt.Sprintf("comm: rank %d transport failure: %v", e.Rank, e.Wire)
+		}
+		return fmt.Sprintf("comm: rank %d transport failure (peer %d)", e.Rank, e.Peer)
 	}
 	return fmt.Sprintf("comm: fault(seed %d): rank %d: %v", e.Seed, e.Rank, e.Kind)
 }
 
-// Unwrap exposes the originating fault of a propagated failure to errors.Is
-// and errors.As chains.
+// Unwrap exposes the originating fault of a propagated failure — or the
+// socket-level TransportError of a wire failure — to errors.Is and errors.As
+// chains.
 func (e *FaultError) Unwrap() error {
+	if e.Wire != nil {
+		return e.Wire
+	}
 	if e.Cause != nil {
 		return e.Cause
 	}
@@ -128,9 +148,11 @@ type FaultPlan struct {
 	CrashRank   int
 	CrashAtColl int
 
-	// RecvTimeout bounds every blocking Recv while the plan is active
-	// (default 10s). It is the last-resort watchdog: ordinary fault
-	// propagation wakes blocked receivers without waiting for it.
+	// RecvTimeout bounds every blocking Recv while the plan is active. It is
+	// the last-resort watchdog: ordinary fault propagation wakes blocked
+	// receivers without waiting for it. Zero falls back to the session's
+	// Config.RecvTimeout, then to the 10-second default; see
+	// Config.RecvTimeout for the full resolution order.
 	RecvTimeout time.Duration
 }
 
@@ -146,13 +168,6 @@ func (p *FaultPlan) maxDelay() int {
 		return p.MaxDelay
 	}
 	return 2
-}
-
-func (p *FaultPlan) recvTimeout() time.Duration {
-	if p.RecvTimeout > 0 {
-		return p.RecvTimeout
-	}
-	return 10 * time.Second
 }
 
 // Active reports whether the plan can perturb anything at all. A non-active
@@ -321,32 +336,49 @@ func chance(p float64, h uint64) bool {
 
 // failState is the session-wide abort latch shared by a communicator and
 // every sub-communicator Split derives from it. The first fault wins; fail
-// wakes every receiver that might be blocked on any registered mailbox so a
-// crash can never strand a peer mid-collective.
+// wakes every receiver that might be blocked on any mailbox in the process's
+// registry so a crash can never strand a peer mid-collective. On a
+// multi-process transport each process has its own latch; the notify hook
+// broadcasts the first locally originated fault to peer processes, whose
+// latches are then set through failRemote (which skips the hook so a fault
+// never echoes back and forth across the wire).
 type failState struct {
-	mu    sync.Mutex
-	err   *FaultError
-	boxes []*mailbox
+	mu     sync.Mutex
+	err    *FaultError
+	reg    *registry
+	notify func(*FaultError)
 }
 
-func newFailState() *failState { return &failState{} }
+func newFailState(reg *registry) *failState { return &failState{reg: reg} }
 
-func (fs *failState) register(boxes []*mailbox) {
+// setNotify installs a remote transport's abort broadcaster. It fires at
+// most once, for the first locally originated fault.
+func (fs *failState) setNotify(fn func(*FaultError)) {
 	fs.mu.Lock()
-	fs.boxes = append(fs.boxes, boxes...)
+	fs.notify = fn
 	fs.mu.Unlock()
 }
 
 // fail records the first fault and wakes all blocked receivers. Later faults
 // keep the original cause so the root error survives propagation races.
-func (fs *failState) fail(e *FaultError) {
+func (fs *failState) fail(e *FaultError) { fs.failWith(e, true) }
+
+// failRemote latches a fault learned from a peer process without re-running
+// the notify hook.
+func (fs *failState) failRemote(e *FaultError) { fs.failWith(e, false) }
+
+func (fs *failState) failWith(e *FaultError, local bool) {
 	fs.mu.Lock()
-	if fs.err == nil {
+	first := fs.err == nil
+	if first {
 		fs.err = e
 	}
-	boxes := fs.boxes
+	notify := fs.notify
 	fs.mu.Unlock()
-	for _, b := range boxes {
+	if first && local && notify != nil {
+		notify(e)
+	}
+	for _, b := range fs.reg.all() {
 		// Taking the lock before broadcasting guarantees a receiver that
 		// checked failure() and is entering Wait has already registered.
 		b.mu.Lock()
@@ -375,6 +407,11 @@ type heldMsg struct {
 // then delivery with optional delay, duplication, and reordering. Traffic
 // stats for the logical message were already recorded by Send; this path
 // only adds perturbation accounting.
+//
+// Every decision is made on the sending side and carried in the frame, so
+// the pipeline is identical on every transport: a dropped frame is simply
+// never handed to Deliver, a duplicate is handed twice, and the hold/reorder
+// words travel with the frame for the destination mailbox to apply.
 func (c *Comm) faultySend(dst, tag int, data any) {
 	p := c.f.plan
 	if d := p.SlowRanks[c.rank]; d > 0 {
@@ -403,28 +440,29 @@ func (c *Comm) faultySend(dst, tag int, data any) {
 		c.f.stats.addFault(func(fc *FaultCounts) { fc.Retries += int64(attempt) })
 	}
 
-	msg := Message{Src: c.rank, Tag: tag, Payload: copyPayload(data), seq: seq}
-	hold := 0
+	fr := &Frame{Ctx: c.f.ctx, Src: c.rank, Dst: dst, Tag: tag, Seq: seq, Payload: copyPayload(data)}
 	if chance(p.DelayProb, p.roll(rollDelay, c.rank, dst, tag, seq, 0)) {
-		hold = 1 + int(p.roll(rollDelay, c.rank, dst, tag, seq, 1)%uint64(p.maxDelay()))
+		fr.Hold = 1 + int(p.roll(rollDelay, c.rank, dst, tag, seq, 1)%uint64(p.maxDelay()))
 		c.f.stats.addFault(func(fc *FaultCounts) { fc.Delayed++ })
 	}
-	reorder := uint64(0)
 	if chance(p.ReorderProb, p.roll(rollReorder, c.rank, dst, tag, seq, 0)) {
-		reorder = p.roll(rollReorder, c.rank, dst, tag, seq, 1)
+		fr.Reorder = p.roll(rollReorder, c.rank, dst, tag, seq, 1)
 		// Reordered tallies the roll, not the eventual splice: whether
 		// deliverFault actually inserts before an existing entry depends on
 		// queue occupancy at delivery time, which is schedule-dependent,
 		// and FaultCounts must stay reproducible from the seed alone.
 		c.f.stats.addFault(func(fc *FaultCounts) { fc.Reordered++ })
 	}
-	box := c.f.boxes[dst]
-	box.deliverFault(msg, hold, reorder)
+	wireDst := c.f.owner[dst]
+	c.tr.Deliver(wireDst, fr)
 	if chance(p.DupProb, p.roll(rollDup, c.rank, dst, tag, seq, 0)) {
 		// The duplicate shares the (already copied) payload: exactly one of
 		// the two copies is ever handed to the receiver, the other is
-		// discarded unread by seq dedup.
-		box.deliverFault(msg, 0, 0)
+		// discarded unread by seq dedup. The duplicate frame carries no
+		// hold/reorder so it lands immediately, like a retransmit would.
+		dup := *fr
+		dup.Hold, dup.Reorder = 0, 0
+		c.tr.Deliver(wireDst, &dup)
 		c.f.stats.addFault(func(fc *FaultCounts) { fc.Duplicated++ })
 	}
 }
@@ -559,16 +597,19 @@ func (b *mailbox) markSeenLocked(src int, seq uint64) {
 	b.seen[src][seq] = struct{}{}
 }
 
-// faultyRecv is RecvMsg under a plan: it drains matching (deduplicated)
-// messages, flushes logical delays before blocking, aborts promptly when the
-// session failed, and arms a watchdog so no schedule can hang a receiver.
-func (c *Comm) faultyRecv(src, tag int) Message {
-	p := c.f.plan
-	if d := p.SlowRanks[c.rank]; d > 0 {
-		time.Sleep(d)
+// watchfulRecv is RecvMsg on a guarded session — a fault plan, an explicit
+// Config.RecvTimeout, or a remote transport. It drains matching
+// (deduplicated) messages, flushes logical delays before blocking, aborts
+// promptly when the session failed, and arms a watchdog so no schedule (and
+// no dead peer process) can hang a receiver.
+func (c *Comm) watchfulRecv(src, tag int) Message {
+	if p := c.f.plan; p != nil {
+		if d := p.SlowRanks[c.rank]; d > 0 {
+			time.Sleep(d)
+		}
 	}
-	box := c.f.boxes[c.rank]
-	deadline := time.Now().Add(p.recvTimeout())
+	box := c.box
+	deadline := time.Now().Add(c.f.recvTimeout)
 	box.mu.Lock()
 	defer box.mu.Unlock()
 	for {
@@ -582,10 +623,10 @@ func (c *Comm) faultyRecv(src, tag int) Message {
 			continue
 		}
 		if root := c.f.fs.failure(); root != nil {
-			panic(&FaultError{Kind: FaultPeerFailed, Rank: c.rank, Peer: src, Tag: tag, Seed: p.Seed, Cause: root})
+			panic(&FaultError{Kind: FaultPeerFailed, Rank: c.rank, Peer: src, Tag: tag, Seed: c.f.seed(), Cause: root})
 		}
 		if time.Now().After(deadline) {
-			ferr := &FaultError{Kind: FaultTimeout, Rank: c.rank, Peer: src, Tag: tag, Seed: p.Seed}
+			ferr := &FaultError{Kind: FaultTimeout, Rank: c.rank, Peer: src, Tag: tag, Seed: c.f.seed()}
 			c.f.stats.addFault(func(fc *FaultCounts) { fc.Timeouts++ })
 			// fail locks every registered mailbox — including this rank's
 			// own — as its wakeup barrier, so the mailbox lock must be

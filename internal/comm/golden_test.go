@@ -66,11 +66,11 @@ var goldenCollectives = []struct {
 }
 
 // collectiveMatrix runs one collective on a fresh communicator of the given
-// size and returns the rendered per-pair message matrix. A non-nil cfg runs
-// it through RunConfig so the faulty paths are exercised.
-func collectiveMatrix(t *testing.T, size int, body func(c *Comm), plan *FaultPlan) string {
+// size and returns the rendered per-pair message matrix. A non-nil plan runs
+// it through the faulty paths; a non-empty transport pins the wire.
+func collectiveMatrix(t *testing.T, size int, body func(c *Comm), plan *FaultPlan, transport string) string {
 	t.Helper()
-	stats, err := RunConfig(size, Config{Faults: plan}, func(c *Comm) error {
+	stats, err := RunConfig(size, Config{Faults: plan, Transport: transport}, func(c *Comm) error {
 		body(c)
 		return nil
 	})
@@ -86,13 +86,13 @@ func TestGoldenCollectiveMatrices(t *testing.T) {
 	for _, cl := range goldenCollectives {
 		for _, p := range sizes {
 			fmt.Fprintf(&b, "== %s P=%d ==\n", cl.name, p)
-			got := collectiveMatrix(t, p, cl.body, nil)
+			got := collectiveMatrix(t, p, cl.body, nil, "")
 			b.WriteString(got)
 
 			// Pay-for-use: a zero-probability plan must not change the
 			// traffic matrix by a single message.
 			zero := &FaultPlan{Seed: 7}
-			if under := collectiveMatrix(t, p, cl.body, zero); under != got {
+			if under := collectiveMatrix(t, p, cl.body, zero, ""); under != got {
 				t.Errorf("%s P=%d: zero-fault plan changed the matrix\nwithout plan:\n%swith plan:\n%s",
 					cl.name, p, got, under)
 			}
@@ -115,5 +115,23 @@ func TestGoldenCollectiveMatrices(t *testing.T) {
 	}
 	if got := b.String(); got != string(want) {
 		t.Errorf("collective message matrices diverged from golden; rerun with -update if intentional.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestGoldenMatricesTransportInvariant pins the transport abstraction's
+// central promise: the per-pair message matrix of every collective is a
+// property of the algorithm, not of the wire. Each collective must produce
+// the identical matrix whether frames are enqueued in-process or encoded,
+// socketed, and decoded over loopback tcp.
+func TestGoldenMatricesTransportInvariant(t *testing.T) {
+	for _, cl := range goldenCollectives {
+		for _, p := range []int{1, 2, 4, 8} {
+			inproc := collectiveMatrix(t, p, cl.body, nil, "inproc")
+			tcp := collectiveMatrix(t, p, cl.body, nil, "tcp")
+			if tcp != inproc {
+				t.Errorf("%s P=%d: matrix differs across transports\ninproc:\n%stcp:\n%s",
+					cl.name, p, inproc, tcp)
+			}
+		}
 	}
 }

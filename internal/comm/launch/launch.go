@@ -1,0 +1,270 @@
+// Package launch bootstraps multi-process tcp comm sessions: one OS process
+// per rank, wired together through a tiny rendezvous exchange.
+//
+// The launcher process (Run) binds a rendezvous listener, re-executes its own
+// binary np times with the world geometry in the environment, and waits. Each
+// worker process (Worker) binds its own rank listener on an ephemeral port,
+// reports (rank, address) to the rendezvous, and receives back the full
+// address table once all ranks have checked in. From there the worker hands
+// off to comm.RunRemote, which builds the full TCP mesh and runs the rank
+// body. No address is ever configured by hand and no port is chosen ahead of
+// time; the only shared knowledge is the rendezvous address in the
+// environment.
+//
+// A typical binary supports both roles:
+//
+//	func main() {
+//	    flag.Parse()
+//	    if launch.IsWorker() {
+//	        if err := launch.Worker(comm.Config{}, body); err != nil {
+//	            log.Fatal(err)
+//	        }
+//	        return
+//	    }
+//	    if err := launch.Run(*np, os.Args[1:]); err != nil {
+//	        log.Fatal(err)
+//	    }
+//	}
+package launch
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+
+	"odinhpc/internal/comm"
+)
+
+// Environment variables carrying one worker's place in the session. A process
+// started with these set should call Worker instead of launching again.
+const (
+	EnvRank       = "ODINHPC_RANK"    // this process's world rank
+	EnvWorld      = "ODINHPC_WORLD"   // world size (number of processes)
+	EnvSession    = "ODINHPC_SESSION" // shared session id, hex
+	EnvRendezvous = "ODINHPC_REND"    // launcher's rendezvous address
+)
+
+// rendezvousTimeout bounds the whole check-in phase: every worker must bind,
+// dial the launcher, and register within it, or the launch is declared dead.
+const rendezvousTimeout = 30 * time.Second
+
+// IsWorker reports whether this process was spawned as a rank of a
+// multi-process session and should dispatch to Worker.
+func IsWorker() bool { return os.Getenv(EnvRank) != "" }
+
+// Run launches np copies of the current executable, invoked with argv args,
+// as ranks 0..np-1 of a fresh tcp session, and waits for all of them. The
+// children inherit this process's stdout/stderr and environment, plus the
+// session variables that make IsWorker return true in them. Run returns the
+// first rendezvous failure, or an error naming every rank that exited
+// non-zero.
+func Run(np int, args []string) error {
+	if np <= 0 {
+		return fmt.Errorf("launch: need at least one rank, got %d", np)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("launch: resolving own executable: %w", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("launch: rendezvous listen: %w", err)
+	}
+	defer ln.Close()
+	session := fmt.Sprintf("%x", sessionID())
+	cmds := make([]*exec.Cmd, np)
+	for i := 0; i < np; i++ {
+		cmd := exec.Command(exe, args...)
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		cmd.Env = append(os.Environ(),
+			EnvRank+"="+strconv.Itoa(i),
+			EnvWorld+"="+strconv.Itoa(np),
+			EnvSession+"="+session,
+			EnvRendezvous+"="+ln.Addr().String(),
+		)
+		if err := cmd.Start(); err != nil {
+			killAll(cmds)
+			return fmt.Errorf("launch: starting rank %d: %w", i, err)
+		}
+		cmds[i] = cmd
+	}
+	regErr := rendezvous(ln, session, np)
+	if regErr != nil {
+		killAll(cmds)
+	}
+	var failed []int
+	for i, cmd := range cmds {
+		if cmd == nil {
+			continue
+		}
+		if err := cmd.Wait(); err != nil && regErr == nil {
+			failed = append(failed, i)
+		}
+	}
+	if regErr != nil {
+		return regErr
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("launch: ranks %v exited with failure", failed)
+	}
+	return nil
+}
+
+func killAll(cmds []*exec.Cmd) {
+	for _, cmd := range cmds {
+		if cmd != nil && cmd.Process != nil {
+			cmd.Process.Kill()
+		}
+	}
+}
+
+// sessionID derives a best-effort unique id for one launch; uniqueness only
+// has to hold against stray processes of previous sessions on this host, and
+// the handshake validates it on every connection.
+func sessionID() uint64 {
+	return uint64(os.Getpid())<<32 | uint64(time.Now().UnixNano())&0xffffffff
+}
+
+// rendezvous collects one (rank, address) registration per rank, then writes
+// the complete address table back on every registration connection.
+func rendezvous(ln net.Listener, session string, np int) error {
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(time.Now().Add(rendezvousTimeout))
+	}
+	conns := make([]net.Conn, np)
+	addrs := make([]string, np)
+	defer func() {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+	for seen := 0; seen < np; seen++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("launch: rendezvous accept (%d/%d ranks checked in): %w", seen, np, err)
+		}
+		conn.SetDeadline(time.Now().Add(rendezvousTimeout))
+		rank, addr, err := readRegistration(conn, session, np)
+		if err != nil {
+			conn.Close()
+			return err
+		}
+		if conns[rank] != nil {
+			conn.Close()
+			return fmt.Errorf("launch: rank %d registered twice", rank)
+		}
+		conns[rank] = conn
+		addrs[rank] = addr
+	}
+	table := strings.Join(addrs, "\n") + "\n"
+	for rank, conn := range conns {
+		if _, err := io.WriteString(conn, table); err != nil {
+			return fmt.Errorf("launch: sending address table to rank %d: %w", rank, err)
+		}
+	}
+	return nil
+}
+
+// readRegistration parses one "odin <session> <rank> <addr>" check-in line.
+func readRegistration(conn net.Conn, session string, np int) (int, string, error) {
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return 0, "", fmt.Errorf("launch: reading registration: %w", err)
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 4 || fields[0] != "odin" {
+		return 0, "", fmt.Errorf("launch: malformed registration %q", strings.TrimSpace(line))
+	}
+	if fields[1] != session {
+		return 0, "", fmt.Errorf("launch: registration from foreign session %s", fields[1])
+	}
+	rank, err := strconv.Atoi(fields[2])
+	if err != nil || rank < 0 || rank >= np {
+		return 0, "", fmt.Errorf("launch: registration with invalid rank %q", fields[2])
+	}
+	return rank, fields[3], nil
+}
+
+// Worker runs fn as this process's rank of the session described by the
+// environment (see the Env constants): it binds this rank's listener,
+// registers with the launcher's rendezvous, receives the full address table,
+// and hands off to comm.RunRemote. The returned Stats hold this process's
+// per-rank view; use comm.GlobalStats inside fn for the aggregated matrix.
+// cfg.Transport is ignored — a launched session is tcp by construction.
+func Worker(cfg comm.Config, fn func(c *comm.Comm) error) (*comm.Stats, error) {
+	env, err := readEnv()
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("launch: rank %d listen: %w", env.Rank, err)
+	}
+	addrs, err := register(os.Getenv(EnvRendezvous), os.Getenv(EnvSession), env.Rank, env.Size, ln.Addr().String())
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	env.Addrs = addrs
+	env.Listener = ln
+	return comm.RunRemote(env, cfg, fn)
+}
+
+// readEnv decodes the session variables into a partial RemoteEnv (addresses
+// and listener are filled in by registration).
+func readEnv() (comm.RemoteEnv, error) {
+	var env comm.RemoteEnv
+	rank, err := strconv.Atoi(os.Getenv(EnvRank))
+	if err != nil {
+		return env, fmt.Errorf("launch: bad %s=%q", EnvRank, os.Getenv(EnvRank))
+	}
+	size, err := strconv.Atoi(os.Getenv(EnvWorld))
+	if err != nil || size <= 0 || rank < 0 || rank >= size {
+		return env, fmt.Errorf("launch: bad %s=%q for rank %d", EnvWorld, os.Getenv(EnvWorld), rank)
+	}
+	session, err := strconv.ParseUint(os.Getenv(EnvSession), 16, 64)
+	if err != nil {
+		return env, fmt.Errorf("launch: bad %s=%q", EnvSession, os.Getenv(EnvSession))
+	}
+	if os.Getenv(EnvRendezvous) == "" {
+		return env, fmt.Errorf("launch: %s not set", EnvRendezvous)
+	}
+	env.Rank, env.Size, env.Session = rank, size, session
+	return env, nil
+}
+
+// register reports this rank's address to the rendezvous and reads back the
+// full table, one address per line in rank order.
+func register(rend, session string, rank, size int, addr string) ([]string, error) {
+	conn, err := net.DialTimeout("tcp", rend, rendezvousTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("launch: rank %d dialing rendezvous: %w", rank, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(rendezvousTimeout))
+	if _, err := fmt.Fprintf(conn, "odin %s %d %s\n", session, rank, addr); err != nil {
+		return nil, fmt.Errorf("launch: rank %d registering: %w", rank, err)
+	}
+	br := bufio.NewReader(conn)
+	addrs := make([]string, size)
+	for i := range addrs {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("launch: rank %d reading address table: %w", rank, err)
+		}
+		addrs[i] = strings.TrimSpace(line)
+	}
+	if addrs[rank] != addr {
+		return nil, fmt.Errorf("launch: address table lists %s for rank %d, want %s", addrs[rank], rank, addr)
+	}
+	return addrs, nil
+}

@@ -1,0 +1,134 @@
+package launch
+
+// Rendezvous protocol tests, run entirely in-process: the launcher half
+// (rendezvous) and the worker half (register) speak over real loopback
+// sockets, just without the process spawns. The full multi-process path is
+// exercised end to end by scripts/verify.sh through `odinrun -transport=tcp
+// -np=4 cg`.
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// startRendezvous runs the launcher half for np ranks and reports its error.
+func startRendezvous(t *testing.T, session string, np int) (addr string, done <-chan error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		defer ln.Close()
+		errc <- rendezvous(ln, session, np)
+	}()
+	return ln.Addr().String(), errc
+}
+
+func TestRendezvousDistributesFullTable(t *testing.T) {
+	const np = 4
+	rend, done := startRendezvous(t, "s1", np)
+	tables := make([][]string, np)
+	var wg sync.WaitGroup
+	for r := 0; r < np; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			table, err := register(rend, "s1", r, np, fmt.Sprintf("127.0.0.1:%d", 9000+r))
+			if err != nil {
+				t.Errorf("rank %d: %v", r, err)
+				return
+			}
+			tables[r] = table
+		}(r)
+	}
+	wg.Wait()
+	if err := <-done; err != nil {
+		t.Fatalf("rendezvous: %v", err)
+	}
+	want := []string{"127.0.0.1:9000", "127.0.0.1:9001", "127.0.0.1:9002", "127.0.0.1:9003"}
+	for r, table := range tables {
+		if table == nil {
+			continue // already reported
+		}
+		if strings.Join(table, ",") != strings.Join(want, ",") {
+			t.Errorf("rank %d table = %v, want %v", r, table, want)
+		}
+	}
+}
+
+func TestRendezvousRejectsForeignSession(t *testing.T) {
+	rend, done := startRendezvous(t, "good", 1)
+	if _, err := register(rend, "evil", 0, 1, "127.0.0.1:9999"); err == nil {
+		t.Error("register with foreign session succeeded; want table read failure")
+	}
+	if err := <-done; err == nil || !strings.Contains(err.Error(), "foreign session") {
+		t.Errorf("rendezvous err = %v, want foreign-session rejection", err)
+	}
+}
+
+func TestRendezvousRejectsDuplicateRank(t *testing.T) {
+	rend, done := startRendezvous(t, "s2", 2)
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := register(rend, "s2", 0, 2, "127.0.0.1:9100")
+			errs <- err
+		}()
+	}
+	if err := <-done; err == nil || !strings.Contains(err.Error(), "registered twice") {
+		t.Fatalf("rendezvous err = %v, want duplicate-rank rejection", err)
+	}
+	// Both workers must see a failure, not a table.
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err == nil {
+			t.Error("register succeeded despite duplicate rank")
+		}
+	}
+}
+
+func TestRendezvousRejectsMalformedLine(t *testing.T) {
+	rend, done := startRendezvous(t, "s3", 1)
+	conn, err := net.Dial("tcp", rend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "not a registration\n")
+	if err := <-done; err == nil || !strings.Contains(err.Error(), "malformed") {
+		t.Fatalf("rendezvous err = %v, want malformed-registration rejection", err)
+	}
+}
+
+func TestReadEnvValidation(t *testing.T) {
+	t.Setenv(EnvRank, "1")
+	t.Setenv(EnvWorld, "4")
+	t.Setenv(EnvSession, "ff01")
+	t.Setenv(EnvRendezvous, "127.0.0.1:1")
+	env, err := readEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Rank != 1 || env.Size != 4 || env.Session != 0xff01 {
+		t.Fatalf("readEnv = %+v", env)
+	}
+	t.Setenv(EnvWorld, "1") // rank 1 of world 1 is invalid
+	if _, err := readEnv(); err == nil {
+		t.Fatal("readEnv accepted rank >= size")
+	}
+	t.Setenv(EnvWorld, "4")
+	t.Setenv(EnvSession, "not-hex")
+	if _, err := readEnv(); err == nil {
+		t.Fatal("readEnv accepted a malformed session id")
+	}
+}
+
+func TestRunRejectsBadNP(t *testing.T) {
+	if err := Run(0, nil); err == nil {
+		t.Fatal("Run(0) succeeded; want error")
+	}
+}

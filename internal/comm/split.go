@@ -5,15 +5,36 @@ import (
 	"sort"
 )
 
+// deriveCtx computes the context id of a sub-communicator from its parent's
+// context, the collective sequence number of the Split call, and the group's
+// color. Every member rank computes the same id with no extra communication,
+// which is what lets Split work over transports where ranks share no memory:
+// the "communicator context" is a name, not a pointer.
+func deriveCtx(parent uint64, seq, color int) uint64 {
+	h := mix64(parent ^ 0x0d1_c0_1253_1175) // arbitrary split-namespace salt
+	h = mix64(h ^ uint64(seq))
+	h = mix64(h ^ uint64(int64(color)))
+	if h == worldCtx {
+		h = 1
+	}
+	return h
+}
+
 // Split partitions the communicator into disjoint sub-communicators, one
 // per distinct color, exactly like MPI_Comm_split: every rank passes a
 // color and a key; ranks sharing a color form a new communicator ordered
 // by (key, old rank). A negative color opts the rank out (it receives nil).
 // Collective.
 //
-// Each sub-communicator gets its own fabric (mailboxes, statistics, the
-// parent's cost model), so traffic inside a subgroup is invisible to
-// siblings, as with real MPI communicators.
+// The only communication is the Allgather of (color, key) pairs; from its
+// result every member deterministically computes the same group, sub-rank
+// numbering, and context id, so construction is identical whether the
+// members share a process or live behind a socket transport. Within one
+// process the members share a single sub-fabric (so traffic inside a
+// subgroup is accounted once and is invisible to siblings and the parent,
+// as with real MPI communicators); on a multi-process transport each
+// process holds its own per-process view of the sub-communicator's Stats,
+// like the world communicator's.
 func (c *Comm) Split(color, key int) *Comm {
 	type entry struct{ color, key, rank int }
 	// Gather everyone's (color, key).
@@ -43,41 +64,46 @@ func (c *Comm) Split(color, key int) *Comm {
 		}
 	}
 
-	// The lowest old rank of each group builds the shared fabric and ships
-	// the pointer to the members (in-process "communicator context" hand-
-	// off); a reserved tag namespace keeps it clear of user traffic.
+	// Consume one collective sequence number for the construction step, as
+	// every rank does, keeping the crash-plan collective numbering aligned
+	// across ranks whatever their color.
 	seq := c.nextColl()
-	tag := collTag(seq, 7)
 	if color < 0 {
 		return nil
-	}
-	leader := group[0].rank
-	var f *fabric
-	if c.rank == leader {
-		f = &fabric{
-			size:  len(group),
-			boxes: make([]*mailbox, len(group)),
-			stats: newStats(len(group)),
-			model: c.f.model,
-			plan:  c.f.plan,
-			fs:    c.f.fs,
-		}
-		for i := range f.boxes {
-			f.boxes[i] = newMailbox()
-		}
-		// Sub-communicator mailboxes join the session abort latch so a fault
-		// anywhere wakes receivers blocked on subgroup traffic too.
-		f.fs.register(f.boxes)
-		for _, e := range group {
-			if e.rank != c.rank {
-				c.Send(e.rank, tag, f)
-			}
-		}
-	} else {
-		f = c.Recv(leader, tag).(*fabric)
 	}
 	if newRank < 0 {
 		panic(fmt.Sprintf("comm: Split bookkeeping lost rank %d", c.rank))
 	}
-	return &Comm{rank: newRank, size: len(group), f: f}
+	subCtx := deriveCtx(c.f.ctx, seq, color)
+	owner := make([]int, len(group))
+	for i, e := range group {
+		owner[i] = c.f.owner[e.rank]
+	}
+	parent := c.f
+	sub := parent.sess.fabricFor(subCtx, func() *fabric {
+		f := &fabric{
+			ctx:         subCtx,
+			size:        len(group),
+			owner:       owner,
+			reg:         parent.reg,
+			sess:        parent.sess,
+			stats:       newStats(len(group)),
+			model:       parent.model,
+			plan:        parent.plan,
+			fs:          parent.fs,
+			recvTimeout: parent.recvTimeout,
+			watchful:    parent.watchful,
+			remote:      parent.remote,
+			perProc:     parent.perProc,
+		}
+		if !c.tr.Remote() {
+			f.tr = newInprocTransport(parent.reg, subCtx, len(group))
+		}
+		return f
+	})
+	tr := c.tr
+	if sub.tr != nil {
+		tr = sub.tr
+	}
+	return &Comm{rank: newRank, size: len(group), f: sub, tr: tr, box: parent.reg.box(subCtx, newRank)}
 }

@@ -25,8 +25,8 @@ type FaultCounts struct {
 	// depend on goroutine scheduling. Counting rolls keeps the counter a
 	// pure function of the plan seed, like every other FaultCounts field.
 	Reordered int64
-	Crashes      int64 // planned rank crashes fired
-	Timeouts     int64 // Recv watchdog expiries
+	Crashes   int64 // planned rank crashes fired
+	Timeouts  int64 // Recv watchdog expiries
 }
 
 // Any reports whether any perturbation or failure was recorded.

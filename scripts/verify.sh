@@ -37,6 +37,19 @@ go test -race -count=2 -run Chaos ./internal/comm/... ./internal/fusion ./intern
 # race detector (all ranks emit into the shared session concurrently).
 ODINHPC_TRACE=65536 go test -race ./internal/trace ./internal/comm ./internal/tpetra
 
+# Transport conformance: the whole comm suite — goldens, chaos, splits,
+# trace reconciliation — replayed with every message on real loopback
+# sockets (ODINHPC_TRANSPORT=tcp), then a race pass over the transport code
+# (the tcp endpoint runs reader/writer goroutines per connection and the
+# launch rendezvous serves workers concurrently).
+ODINHPC_TRANSPORT=tcp go test ./internal/comm/...
+ODINHPC_TRANSPORT=tcp go test -race ./internal/comm ./internal/comm/launch
+
+# Multi-process end to end: a distributed CG solve with one OS process per
+# rank, wired by the comm/launch rendezvous over tcp.
+go build -o /tmp/odinhpc-odinrun ./cmd/odinrun
+/tmp/odinhpc-odinrun -transport=tcp -np=4 -n 512 cg
+
 # Disabled-path guard: with tracing off, every instrumentation site must
 # cost one atomic load, so the hot-loop benchmarks must stay within noise of
 # the recorded baselines. Warn-only at 3%; hard-fail at +100%. The wide band
@@ -48,3 +61,4 @@ ODINHPC_TRACE=65536 go test -race ./internal/trace ./internal/comm ./internal/tp
 go build -o /tmp/odinhpc-benchguard ./cmd/benchguard
 go test -run XXX -bench ExecScaling -benchtime=0.3s . | /tmp/odinhpc-benchguard -baseline BENCH_exec.json -fail 1.0
 go test -run XXX -bench FusionVM -benchtime=0.3s . | /tmp/odinhpc-benchguard -baseline BENCH_fusion.json -fail 1.0
+go test -run XXX -bench CommTransport -benchtime=0.2s ./internal/comm | /tmp/odinhpc-benchguard -baseline BENCH_comm.json -fail 1.0
