@@ -1,8 +1,8 @@
 // Command odinvet is the multichecker for the framework's domain
-// invariants: the five analyzers under internal/analysis (commsym,
-// tagcheck, hotalloc, tracepair, planreuse) run over the tree and fail the
-// build on any finding. See DESIGN.md "Static analysis" for the invariant
-// behind each analyzer and the escape hatch.
+// invariants: the six analyzers under internal/analysis (commsym,
+// collorder, tagcheck, hotalloc, tracepair, planreuse) run over the tree
+// and fail the build on any finding. See DESIGN.md "Static analysis" for
+// the invariant behind each analyzer and the escape hatch.
 //
 // Standalone usage (no install step, used by scripts/verify.sh and CI):
 //
@@ -29,6 +29,7 @@ import (
 	"strings"
 
 	"odinhpc/internal/analysis"
+	"odinhpc/internal/analysis/collorder"
 	"odinhpc/internal/analysis/commsym"
 	"odinhpc/internal/analysis/hotalloc"
 	"odinhpc/internal/analysis/planreuse"
@@ -40,6 +41,7 @@ import (
 // all is the registered analyzer suite.
 var all = []*analysis.Analyzer{
 	commsym.Analyzer,
+	collorder.Analyzer,
 	tagcheck.Analyzer,
 	hotalloc.Analyzer,
 	tracepair.Analyzer,

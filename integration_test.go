@@ -8,13 +8,17 @@ import (
 	"fmt"
 	"math"
 	"path/filepath"
+	"runtime"
 	"testing"
+	"time"
 
 	"odinhpc/internal/bridge"
 	"odinhpc/internal/comm"
+	"odinhpc/internal/comm/stresstest"
 	"odinhpc/internal/core"
 	"odinhpc/internal/dense"
 	"odinhpc/internal/distmap"
+	"odinhpc/internal/exec"
 	"odinhpc/internal/galeri"
 	"odinhpc/internal/iodist"
 	"odinhpc/internal/nonlinear"
@@ -214,48 +218,27 @@ func TestCheckpointThenSolve(t *testing.T) {
 
 // TestLargePoissonStress is the biggest problem the suite solves: 128^2
 // unknowns at 8 ranks under AMG-preconditioned CG, verified against the
-// independently computed residual. Skipped under -short.
+// independently computed residual. The solve itself lives in the stress
+// corpus (the "poisson128-amg-cg" kernel in internal/comm/stresstest), so
+// the same body also rides the odinstress sweep grid; this test replays it
+// as one harness point at its historical geometry, now with seeded
+// scheduling pressure on top. Skipped under -short.
 func TestLargePoissonStress(t *testing.T) {
 	if testing.Short() {
 		t.Skip("stress test")
 	}
-	err := comm.Run(8, func(c *comm.Comm) error {
-		ctx := core.NewContext(c)
-		nx := 128
-		n := nx * nx
-		m := distmap.NewBlock(n, c.Size())
-		a := galeri.Laplace2DDist(c, m, nx, nx)
-		h := 1.0 / float64(nx+1)
-		b := core.Full(ctx, h*h, []int{n}, core.Options{Map: m})
-		x := core.Zeros[float64](ctx, []int{n}, core.Options{Map: m})
-		prec, err := precond.NewAMG(a, precond.AMGOptions{})
-		if err != nil {
-			return err
-		}
-		params := teuchos.NewParameterList("s")
-		params.Set("method", "cg").Set("tolerance", 1e-9).Set("max iterations", 10000)
-		res, err := bridge.Solve(a, b, x, prec, params)
-		if err != nil {
-			return err
-		}
-		if !res.Converged {
-			return fmt.Errorf("%v", res)
-		}
-		if tr := solvers.ResidualNorm(a, bridge.ToVector(b), bridge.ToVector(x)); tr > 1e-8 {
-			return fmt.Errorf("true residual %g", tr)
-		}
-		// Physical sanity: the continuous solution peaks at ~0.0737 h^0...
-		// for -u''=1 scaled; just require a positive interior peak near the
-		// center.
-		peak := ufunc.ArgMax(x)
-		pi, pj := peak/nx, peak%nx
-		if pi < nx/4 || pi > 3*nx/4 || pj < nx/4 || pj > 3*nx/4 {
-			return fmt.Errorf("peak at (%d,%d), expected central", pi, pj)
-		}
-		return nil
-	})
-	if err != nil {
-		t.Fatal(err)
+	k, ok := stresstest.Find("poisson128-amg-cg")
+	if !ok {
+		t.Fatal("poisson128-amg-cg missing from stress corpus")
+	}
+	g := stresstest.Grid{Jitter: true, RecvTimeout: 60 * time.Second}
+	p := stresstest.Point{
+		Kernel: k.Name, Ranks: 8, Procs: runtime.GOMAXPROCS(0),
+		Pool: exec.Default().Workers(), Transport: "inproc",
+		Plan: stresstest.PlanNone, Seed: 8128,
+	}
+	if out := stresstest.RunPoint(g, p, k); out.Err != nil {
+		t.Fatalf("%s: %v (replay: odinstress -replay %s)", p.Fingerprint(), out.Err, p.Fingerprint())
 	}
 }
 

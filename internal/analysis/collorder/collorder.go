@@ -1,0 +1,317 @@
+// Package collorder implements the odinvet analyzer that model-checks
+// per-rank collective call *sequences* across sibling branches. Collectives
+// synchronize through per-rank sequence numbers (comm.nextColl): two ranks
+// that issue the same collectives in different orders stamp them with
+// different sequence tags and block forever on messages the peer never
+// sends. commsym catches asymmetric *reachability* (a collective only some
+// ranks execute); collorder catches the complementary shape where every
+// branch executes the same collectives but in permuted order —
+// Bcast-then-Gather on one arm, Gather-then-Bcast on another.
+//
+// The check compares the ordered collective sequence of each arm of an
+// if/else chain or switch statement. Two arms with the same multiset of
+// collective operations (at least two of them, on the same communicator
+// values) but a different order are reported: whatever the branch
+// condition, there is no schedule under which a permuted order is useful —
+// either the condition is uniform across ranks (hoist the collectives out
+// of the branch) or it is not (ranks taking different arms deadlock).
+//
+// One idiom is exempt: collectives on a sub-communicator obtained from
+// Split with a rank-derived color. Such subgroups are disjoint by
+// construction — even and odd ranks each talk only to their own subgroup —
+// so a per-parity order swap cannot cross-connect them. A subcommunicator
+// built with a rank-independent color contains every rank and fully
+// participates in the check; that case is commsym's deliberate blind spot
+// (it exempts everything Split-shaped) and exactly where sequence checking
+// earns its keep.
+package collorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"odinhpc/internal/analysis"
+	"odinhpc/internal/analysis/commsym"
+)
+
+// Analyzer flags sibling branches issuing the same collectives in
+// different orders.
+var Analyzer = &analysis.Analyzer{
+	Name: "collorder",
+	Doc: "flags sibling branches that call the same collective comm operations " +
+		"in permuted order (cross-rank sequence-number deadlock); hoist the " +
+		"collectives out of the branch, or annotate a deliberate exception " +
+		"with //lint:allow collorder",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		analysis.FuncScopes(file, func(decl *ast.FuncDecl) {
+			c := &checker{
+				pass:     pass,
+				tainted:  commsym.TaintedObjects(pass, decl),
+				reported: map[string]bool{},
+			}
+			c.exempt = exemptSubcomms(pass, decl, c.tainted)
+			c.walk(decl.Body)
+		})
+	}
+	return nil
+}
+
+// exemptSubcomms computes the local objects holding sub-communicators built
+// by Split with a rank-derived color — directly or via ident copies. Their
+// collectives are excluded from sequence comparison (disjoint subgroups).
+func exemptSubcomms(pass *analysis.Pass, decl *ast.FuncDecl, tainted map[types.Object]bool) map[types.Object]bool {
+	exempt := map[types.Object]bool{}
+	fromDisjointSplit := func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.CallExpr:
+			return analysis.IsMethodOn(analysis.Callee(pass.Info, e), "comm", "Comm", "Split") &&
+				len(e.Args) > 0 && commsym.RankDerived(pass, tainted, e.Args[0])
+		case *ast.Ident:
+			obj := pass.Info.Uses[e]
+			if obj == nil {
+				obj = pass.Info.Defs[e]
+			}
+			return obj != nil && exempt[obj]
+		}
+		return false
+	}
+	for i := 0; i < 8; i++ {
+		changed := false
+		ast.Inspect(decl, func(n ast.Node) bool {
+			s, ok := n.(*ast.AssignStmt)
+			if !ok || len(s.Lhs) != len(s.Rhs) {
+				return true
+			}
+			for i, lhs := range s.Lhs {
+				if !fromDisjointSplit(s.Rhs[i]) {
+					continue
+				}
+				if id, ok := lhs.(*ast.Ident); ok {
+					obj := pass.Info.Defs[id]
+					if obj == nil {
+						obj = pass.Info.Uses[id]
+					}
+					if obj != nil && !exempt[obj] {
+						exempt[obj] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+	return exempt
+}
+
+// collCall is one collective invocation in an arm's sequence: the
+// reportable collective name, the communicator it runs on (nil when the
+// communicator expression is not a simple identifier), and the call site.
+type collCall struct {
+	name string
+	comm types.Object
+	pos  token.Pos
+}
+
+// key identifies a sequence element for order comparison: same collective
+// on the same communicator value.
+func (c collCall) key() string {
+	if c.comm == nil {
+		return c.name
+	}
+	return c.comm.Name() + "." + c.name
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	tainted map[types.Object]bool
+	exempt  map[types.Object]bool
+	// reported dedupes diagnostics: with three or more arms, two sibling
+	// pairs can indict the same call with the same message.
+	reported map[string]bool
+}
+
+// walk descends the whole function body, checking every if/else chain and
+// switch statement it meets (at any nesting depth). An if/else-if chain is
+// checked once, from its head; the chain's inner links are remembered and
+// skipped when ast.Inspect reaches them on its own.
+func (c *checker) walk(n ast.Node) {
+	elseLinks := map[*ast.IfStmt]bool{}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.IfStmt:
+			if elseLinks[s] {
+				return true
+			}
+			for link := s; ; {
+				next, ok := link.Else.(*ast.IfStmt)
+				if !ok {
+					break
+				}
+				elseLinks[next] = true
+				link = next
+			}
+			c.checkArms(flattenChain(s))
+		case *ast.SwitchStmt:
+			var arms []ast.Node
+			for _, cc := range s.Body.List {
+				arms = append(arms, cc)
+			}
+			c.checkArms(arms)
+		}
+		return true
+	})
+}
+
+// flattenChain expands if/else-if/else into its arm list.
+func flattenChain(ifs *ast.IfStmt) []ast.Node {
+	arms := []ast.Node{ifs.Body}
+	switch e := ifs.Else.(type) {
+	case *ast.BlockStmt:
+		arms = append(arms, e)
+	case *ast.IfStmt:
+		arms = append(arms, flattenChain(e)...)
+	}
+	return arms
+}
+
+// checkArms compares every pair of sibling arms and reports permuted
+// collective sequences.
+func (c *checker) checkArms(arms []ast.Node) {
+	if len(arms) < 2 {
+		return
+	}
+	seqs := make([][]collCall, len(arms))
+	for i, arm := range arms {
+		seqs[i] = c.sequence(arm)
+	}
+	for i := 0; i < len(seqs); i++ {
+		for j := i + 1; j < len(seqs); j++ {
+			c.comparePair(seqs[i], seqs[j])
+		}
+	}
+}
+
+// sequence extracts an arm's ordered collective calls, skipping exempt
+// sub-communicators and function literals (which run where they are called,
+// not where they are written). ast.Inspect visits calls in source order,
+// which is the execution order of straight-line code; nested branches
+// inside the arm contribute their own calls in syntactic order and are
+// additionally checked on their own when walk reaches them.
+func (c *checker) sequence(arm ast.Node) []collCall {
+	var seq []collCall
+	ast.Inspect(arm, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := commsym.CollectiveName(c.pass, call)
+		if name == "" {
+			return true
+		}
+		obj := c.commObject(call)
+		if obj != nil && c.exempt[obj] {
+			return true
+		}
+		seq = append(seq, collCall{name: name, comm: obj, pos: call.Pos()})
+		return true
+	})
+	return seq
+}
+
+// commObject resolves the communicator a collective call operates on: the
+// receiver for methods, the first argument for package-level collectives.
+func (c *checker) commObject(call *ast.CallExpr) types.Object {
+	var commExpr ast.Expr
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, isSel := c.pass.Info.Selections[sel]; isSel && s.Kind() == types.MethodVal {
+			commExpr = sel.X
+		}
+	}
+	if commExpr == nil && len(call.Args) > 0 {
+		commExpr = call.Args[0]
+	}
+	id, ok := ast.Unparen(commExpr).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := c.pass.Info.Uses[id]
+	if obj == nil {
+		obj = c.pass.Info.Defs[id]
+	}
+	return obj
+}
+
+// comparePair reports when two arms hold the same collectives in different
+// orders. Arms with different multisets are left to commsym's symmetry
+// model; a single shared collective has no order to disagree on.
+func (c *checker) comparePair(a, b []collCall) {
+	if len(a) != len(b) || len(a) < 2 || !sameMultiset(a, b) || sameOrder(a, b) {
+		return
+	}
+	// First position where the orders diverge anchors the report.
+	div := 0
+	for a[div].key() == b[div].key() {
+		div++
+	}
+	msg := fmt.Sprintf(
+		"collective sequence diverges across sibling branches: this branch runs %s while a sibling runs %s; "+
+			"ranks split across these branches disagree on collective sequence numbers and deadlock",
+		orderString(b), orderString(a))
+	dedup := fmt.Sprintf("%d:%s", b[div].pos, msg)
+	if c.reported[dedup] {
+		return
+	}
+	c.reported[dedup] = true
+	c.pass.Reportf(b[div].pos, "%s", msg)
+}
+
+func sameOrder(a, b []collCall) bool {
+	for i := range a {
+		if a[i].key() != b[i].key() {
+			return false
+		}
+	}
+	return true
+}
+
+func sameMultiset(a, b []collCall) bool {
+	ka, kb := keys(a), keys(b)
+	sort.Strings(ka)
+	sort.Strings(kb)
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func keys(seq []collCall) []string {
+	out := make([]string, len(seq))
+	for i, c := range seq {
+		out[i] = c.key()
+	}
+	return out
+}
+
+func orderString(seq []collCall) string {
+	names := make([]string, len(seq))
+	for i, c := range seq {
+		names[i] = c.name
+	}
+	return strings.Join(names, " then ")
+}

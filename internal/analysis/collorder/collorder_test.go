@@ -1,0 +1,12 @@
+package collorder_test
+
+import (
+	"testing"
+
+	"odinhpc/internal/analysis/analysistest"
+	"odinhpc/internal/analysis/collorder"
+)
+
+func TestCollorder(t *testing.T) {
+	analysistest.Run(t, "testdata", collorder.Analyzer, "a")
+}

@@ -1,0 +1,23 @@
+// Package seed is the collorder true-positive check wired into
+// scripts/verify.sh: unlike the sibling testdata packages it imports the
+// real comm fabric, and it carries no collorder suppressions, so running
+// odinvet over this directory — standalone or through `go vet -vettool` —
+// must fail with a collorder finding. Living under testdata keeps it out of
+// every `./...` walk; verify.sh targets the directory explicitly.
+package seed
+
+import "odinhpc/internal/comm"
+
+// PermutedCollectives mirrors the stress corpus's permuted-collectives
+// kernel (the bug odinstress minimizes dynamically) with the collorder
+// suppressions stripped: even and odd ranks issue the same two collectives
+// in opposite orders. The commsym allows keep this a pure collorder signal.
+func PermutedCollectives(c *comm.Comm, buf, vals []float64) {
+	if c.Rank()%2 == 0 {
+		comm.Bcast(c, 0, buf)   //lint:allow commsym True-positive for the collorder tier; only commsym is suppressed
+		comm.Gather(c, 0, vals) //lint:allow commsym True-positive for the collorder tier; only commsym is suppressed
+	} else {
+		comm.Gather(c, 0, vals) //lint:allow commsym True-positive for the collorder tier; only commsym is suppressed
+		comm.Bcast(c, 0, buf)   //lint:allow commsym True-positive for the collorder tier; only commsym is suppressed
+	}
+}

@@ -42,7 +42,7 @@ func run(pass *analysis.Pass) error {
 		analysis.FuncScopes(file, func(decl *ast.FuncDecl) {
 			w := &walker{
 				pass:     pass,
-				tainted:  taintedObjects(pass, decl),
+				tainted:  TaintedObjects(pass, decl),
 				subcomms: subcommObjects(pass, decl),
 			}
 			w.stmts(decl.Body.List, 0)
@@ -100,13 +100,13 @@ func subcommObjects(pass *analysis.Pass, decl *ast.FuncDecl) map[types.Object]bo
 	return subs
 }
 
-// taintedObjects computes the set of local objects carrying rank-derived
+// TaintedObjects computes the set of local objects carrying rank-derived
 // values within decl: anything assigned from an expression whose value
 // derives from comm.Rank() (or the rank field inside package comm) through
 // operators, conversions, and ident copies. Taint deliberately does not
 // flow through ordinary function calls — c.Split(c.Rank()%2, 0) consumes a
 // rank but returns a communicator, not a rank value.
-func taintedObjects(pass *analysis.Pass, decl *ast.FuncDecl) map[types.Object]bool {
+func TaintedObjects(pass *analysis.Pass, decl *ast.FuncDecl) map[types.Object]bool {
 	tainted := map[types.Object]bool{}
 	// Iterate to a fixpoint so chains like r := c.Rank(); isRoot := r == 0
 	// resolve regardless of declaration order quirks. The nesting depth of
@@ -123,7 +123,7 @@ func taintedObjects(pass *analysis.Pass, decl *ast.FuncDecl) map[types.Object]bo
 					} else if len(s.Rhs) == 1 {
 						rhs = s.Rhs[0]
 					}
-					if rhs == nil || !rankDerived(pass, tainted, rhs) {
+					if rhs == nil || !RankDerived(pass, tainted, rhs) {
 						continue
 					}
 					if id, ok := lhs.(*ast.Ident); ok {
@@ -145,7 +145,7 @@ func taintedObjects(pass *analysis.Pass, decl *ast.FuncDecl) map[types.Object]bo
 					} else if len(s.Values) == 1 {
 						rhs = s.Values[0]
 					}
-					if rhs == nil || !rankDerived(pass, tainted, rhs) {
+					if rhs == nil || !RankDerived(pass, tainted, rhs) {
 						continue
 					}
 					if obj := pass.Info.Defs[id]; obj != nil && !tainted[obj] {
@@ -163,8 +163,8 @@ func taintedObjects(pass *analysis.Pass, decl *ast.FuncDecl) map[types.Object]bo
 	return tainted
 }
 
-// rankDerived reports whether the value of e derives from this rank's index.
-func rankDerived(pass *analysis.Pass, tainted map[types.Object]bool, e ast.Expr) bool {
+// RankDerived reports whether the value of e derives from this rank's index.
+func RankDerived(pass *analysis.Pass, tainted map[types.Object]bool, e ast.Expr) bool {
 	switch e := e.(type) {
 	case *ast.Ident:
 		obj := pass.Info.Uses[e]
@@ -173,19 +173,19 @@ func rankDerived(pass *analysis.Pass, tainted map[types.Object]bool, e ast.Expr)
 		}
 		return obj != nil && tainted[obj]
 	case *ast.ParenExpr:
-		return rankDerived(pass, tainted, e.X)
+		return RankDerived(pass, tainted, e.X)
 	case *ast.UnaryExpr:
-		return rankDerived(pass, tainted, e.X)
+		return RankDerived(pass, tainted, e.X)
 	case *ast.BinaryExpr:
-		return rankDerived(pass, tainted, e.X) || rankDerived(pass, tainted, e.Y)
+		return RankDerived(pass, tainted, e.X) || RankDerived(pass, tainted, e.Y)
 	case *ast.CallExpr:
 		if isRankCall(pass, e) {
 			return true
 		}
 		// Conversions propagate the converted value's taint; other calls
-		// launder it (see taintedObjects).
+		// launder it (see TaintedObjects).
 		if tv, ok := pass.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
-			return rankDerived(pass, tainted, e.Args[0])
+			return RankDerived(pass, tainted, e.Args[0])
 		}
 		return false
 	case *ast.SelectorExpr:
@@ -208,14 +208,14 @@ func isRankCall(pass *analysis.Pass, call *ast.CallExpr) bool {
 	return analysis.IsMethodOn(fn, "comm", "Comm", "Rank")
 }
 
-// collectiveName returns the reportable name of the collective invoked by
+// CollectiveName returns the reportable name of the collective invoked by
 // call ("comm.Bcast", "(*comm.Comm).Barrier"), or "" if the call is not a
 // collective. Collectives are the methods Barrier and Split on comm.Comm
 // plus every exported package-level comm function whose first parameter is
 // a *comm.Comm — the shape of Bcast, Reduce, Allreduce, Gather, Allgather,
 // Scatter, Alltoall, Scan and their Scalar variants, which keeps the list
 // in sync with the comm API instead of hardcoding names.
-func collectiveName(pass *analysis.Pass, call *ast.CallExpr) string {
+func CollectiveName(pass *analysis.Pass, call *ast.CallExpr) string {
 	fn := analysis.Callee(pass.Info, call)
 	if fn == nil || !analysis.ObjPkgIs(fn, "comm") || !fn.Exported() {
 		return ""
@@ -249,7 +249,7 @@ type walker struct {
 }
 
 func (w *walker) rankDep(e ast.Expr) bool {
-	return e != nil && rankDerived(w.pass, w.tainted, e)
+	return e != nil && RankDerived(w.pass, w.tainted, e)
 }
 
 // stmts walks a statement list. Beyond descending into rank-guarded
@@ -421,7 +421,7 @@ func (w *walker) checkNode(n ast.Node, depth int) {
 	if !ok || depth == 0 {
 		return
 	}
-	name := collectiveName(w.pass, call)
+	name := CollectiveName(w.pass, call)
 	if name == "" || w.onSubcomm(call) {
 		return
 	}

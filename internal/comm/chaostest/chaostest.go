@@ -15,7 +15,9 @@ package chaostest
 import (
 	"errors"
 	"fmt"
+	"os"
 	"reflect"
+	"strconv"
 	"testing"
 	"time"
 
@@ -41,6 +43,45 @@ type Case struct {
 // propagation wakes blocked ranks in milliseconds, so hitting this means a
 // genuine hang.
 const Watchdog = 30 * time.Second
+
+// SeedEnv overrides every suite's default chaos seed: ODINHPC_CHAOS_SEED=N
+// reruns each registered kernel under the fault matrix seeded with N. Every
+// failure message carries the effective seed (the run label's seed= field),
+// so any chaos failure is replayable verbatim by exporting the printed seed.
+const SeedEnv = "ODINHPC_CHAOS_SEED"
+
+// ResolveSeed returns the chaos seed for a suite: the SeedEnv override when
+// set and parseable, else the suite's default.
+func ResolveSeed(def int64) int64 {
+	if s := os.Getenv(SeedEnv); s != "" {
+		if v, err := strconv.ParseInt(s, 10, 64); err == nil {
+			return v
+		}
+	}
+	return def
+}
+
+// PlanNamed returns the conformance-matrix plan with the given name for a
+// communicator of the given size, seeded with seed. It is the lookup the
+// stress harness (internal/comm/stresstest) uses to reuse this package's
+// fault corpus by name; ok is false for unknown names.
+func PlanNamed(name string, seed int64, size int) (plan *comm.FaultPlan, ok bool) {
+	for _, cs := range Plans(seed, size) {
+		if cs.Name == name {
+			return cs.Plan, true
+		}
+	}
+	return nil, false
+}
+
+// PlanNames lists the conformance matrix's plan names in replay order.
+func PlanNames() []string {
+	var names []string
+	for _, cs := range Plans(0, 1) {
+		names = append(names, cs.Name)
+	}
+	return names
+}
 
 // Plans returns the deterministic conformance matrix for a communicator of
 // the given size, every plan seeded from seed. The matrix covers each fault
@@ -111,12 +152,15 @@ func Run(t *testing.T, sizes []int, seed int64, kernels ...Kernel) {
 
 // RunOn is Run with the transport pinned ("inproc", "tcp"; empty defers to
 // the environment). The reference run rides the same transport as the fault
-// runs, so the contract is checked wire-for-wire.
+// runs, so the contract is checked wire-for-wire. The seed argument is the
+// suite default; ODINHPC_CHAOS_SEED overrides it (see SeedEnv), and the
+// effective seed is stamped into every run label so failures name it.
 func RunOn(t *testing.T, transport string, sizes []int, seed int64, kernels ...Kernel) {
 	t.Helper()
+	seed = ResolveSeed(seed)
 	for _, k := range kernels {
 		for _, size := range sizes {
-			label := fmt.Sprintf("%s/P=%d", k.Name, size)
+			label := fmt.Sprintf("%s/P=%d/seed=%d", k.Name, size, seed)
 			if transport != "" {
 				label = transport + "/" + label
 			}

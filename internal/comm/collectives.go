@@ -62,6 +62,7 @@ func applyOp[T Number](op Op, a, b T) T {
 // also the fault layer's crash point: a plan that crashes this rank at this
 // collective index unwinds here, before any round of the collective runs.
 func (c *Comm) nextColl() int {
+	c.jitter(jitterColl)
 	c.collSeq++
 	c.crashCheck()
 	return c.collSeq

@@ -77,6 +77,9 @@ type fabric struct {
 	model *CostModel
 	plan  *FaultPlan
 	fs    *failState
+	// jitter is the seeded scheduling-pressure plan (sched.go); nil outside
+	// stress runs.
+	jitter *SchedJitter
 
 	// recvTimeout is the armed watchdog bound for blocking Recvs on the
 	// watchful path; see Config.RecvTimeout for the resolution order.
@@ -116,6 +119,11 @@ type Comm struct {
 	collSeq int       // per-rank collective sequence number (SPMD-synchronized)
 	simTime float64   // accumulated modeled communication time, seconds
 	sendSeq []uint64  // per-destination delivery sequence (fault plans only)
+
+	// jitterSeq counts this rank's scheduling-jitter decision points; it
+	// feeds the seed-pure yield hash (sched.go) and stays zero without a
+	// SchedJitter.
+	jitterSeq uint64
 }
 
 // Rank returns this rank's index in [0, Size).
@@ -173,6 +181,13 @@ type Config struct {
 	// Zero leaves plain inproc sessions unguarded (the legacy contract:
 	// without a plan, a buggy kernel may block forever).
 	RecvTimeout time.Duration
+	// Jitter injects seeded scheduling pressure at Send/Recv/collective
+	// entry (sched.go). It perturbs goroutine interleavings only — results
+	// and traffic matrices must be identical to a jitter-free run — and
+	// does not by itself arm the watchful receive path; stress runs pair it
+	// with RecvTimeout so a schedule-dependent deadlock surfaces as a typed
+	// FaultTimeout instead of a hang.
+	Jitter *SchedJitter
 }
 
 // transportName resolves the configured transport.
@@ -232,6 +247,7 @@ func RunConfig(size int, cfg Config, fn func(c *Comm) error) (*Stats, error) {
 		model:       cfg.Model,
 		plan:        cfg.Faults,
 		fs:          fs,
+		jitter:      cfg.Jitter,
 		recvTimeout: resolveRecvTimeout(cfg),
 	}
 	trs := make([]Transport, size)
@@ -344,6 +360,7 @@ func (c *Comm) Send(dst, tag int, data any) {
 	if dst < 0 || dst >= c.size {
 		panic(fmt.Sprintf("comm: Send to invalid rank %d (size %d)", dst, c.size))
 	}
+	c.jitter(jitterSend)
 	n := payloadBytes(data)
 	c.f.stats.record(c.rank, dst, n)
 	// One trace event per logical Send — the identical unit Stats counts —
@@ -390,6 +407,7 @@ func (c *Comm) RecvMsg(src, tag int) Message {
 }
 
 func (c *Comm) recvMsg(src, tag int) Message {
+	c.jitter(jitterRecv)
 	if c.f.watchful {
 		return c.watchfulRecv(src, tag)
 	}

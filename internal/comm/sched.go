@@ -1,0 +1,70 @@
+package comm
+
+import "runtime"
+
+// This file implements the seeded scheduling-pressure hook the stress
+// harness (internal/comm/stresstest, cmd/odinstress) uses to hunt
+// schedule-dependent failures. A SchedJitter yields the calling goroutine at
+// the fabric's decision points — Send, Recv, and collective entry — with a
+// probability derived purely from the jitter seed and a per-rank call
+// counter, so WHERE pressure is applied is reproducible from the seed even
+// though the Go scheduler's response to each yield is not. Squeezing the
+// same kernel through many jitter seeds (and GOMAXPROCS values) explores
+// interleavings the free-running scheduler would rarely visit, the gostress
+// idea applied to the comm fabric.
+//
+// Like the fault layer, the hook is strictly pay-for-use: with a nil
+// SchedJitter every hook site costs one pointer load. Jitter perturbs
+// scheduling only — never message contents, ordering decisions, or the
+// Stats matrices — so a jittered run of a correct kernel must produce
+// results bitwise identical to an unjittered one.
+
+// SchedJitter is a seeded scheduling-pressure plan for one communicator
+// session. The zero value injects nothing.
+type SchedJitter struct {
+	// Seed roots every yield decision.
+	Seed int64
+	// Prob is the probability of yielding at each hook point, in [0, 1].
+	Prob float64
+	// MaxYields bounds the consecutive runtime.Gosched calls of one
+	// triggered yield (default 3). More yields push the goroutine further
+	// down the run queue, exposing deeper reorderings.
+	MaxYields int
+}
+
+func (j *SchedJitter) maxYields() int {
+	if j.MaxYields > 0 {
+		return j.MaxYields
+	}
+	return 3
+}
+
+// jitterPoint classifies the hook sites so the decision streams of a rank's
+// sends, receives, and collective entries stay independent.
+const (
+	jitterSend uint64 = iota + 1
+	jitterRecv
+	jitterColl
+)
+
+// jitter runs one hook point: a seed-pure decision on whether (and how hard)
+// to shove this rank off the processor. Comm is goroutine-owned, so the
+// per-rank counter needs no synchronization.
+func (c *Comm) jitter(point uint64) {
+	j := c.f.jitter
+	if j == nil {
+		return
+	}
+	c.jitterSeq++
+	h := uint64(j.Seed) ^ 0xa5b35705c800f1e3
+	for _, v := range [...]uint64{point, uint64(c.rank) + 1, c.jitterSeq} {
+		h = mix64(h ^ v)
+	}
+	if !chance(j.Prob, h) {
+		return
+	}
+	n := 1 + int(mix64(h)%uint64(j.maxYields()))
+	for i := 0; i < n; i++ {
+		runtime.Gosched()
+	}
+}

@@ -91,6 +91,7 @@ func (c *Comm) Split(color, key int) *Comm {
 			model:       parent.model,
 			plan:        parent.plan,
 			fs:          parent.fs,
+			jitter:      parent.jitter,
 			recvTimeout: parent.recvTimeout,
 			watchful:    parent.watchful,
 			remote:      parent.remote,

@@ -1,0 +1,446 @@
+// Package stresstest is the schedule-sweep stress harness for the comm
+// fabric and the distributed kernels built on it, the gostress idea applied
+// to this runtime: replay a conformance corpus across a deterministic grid
+// of GOMAXPROCS × exec pool size × rank count × transport × fault plan,
+// with seeded scheduling pressure (comm.SchedJitter) shoving ranks off the
+// processor at Send/Recv/collective entry, hunting the schedule-dependent
+// failures a single lucky interleaving hides.
+//
+// Every grid point is identified by a replay fingerprint
+// (v1/kernel/P4/G2/W2/tcp/storm/s1234); a failing point is shrunk by
+// Minimize to the smallest still-failing configuration, and
+// `odinstress -replay <fingerprint>` reruns any point verbatim. The pass
+// contract per point is the chaos contract: under an active fault plan the
+// kernel either reproduces its pressure-free reference result bitwise or
+// every rank fails with a typed *comm.FaultError; under the "none"/"zero"
+// plans it must succeed and match. Sessions always arm comm.RecvTimeout, so
+// a schedule-dependent deadlock surfaces as a typed FaultTimeout with a
+// printable fingerprint instead of a hang.
+//
+// cmd/odinstress is the command-line driver; scripts/verify.sh runs the
+// smoke grid under ODINHPC_STRESS=1 (the full grid is the nightly tier).
+package stresstest
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"odinhpc/internal/comm"
+	"odinhpc/internal/comm/chaostest"
+	"odinhpc/internal/exec"
+)
+
+// PlanNone names the plan-free grid column: no fault layer at all, only
+// scheduling pressure. The remaining plan names come from the chaostest
+// conformance matrix (chaostest.PlanNames).
+const PlanNone = "none"
+
+// Point is one grid point: a kernel pinned to a full runtime configuration.
+// Its Fingerprint round-trips through ParseFingerprint, which is what makes
+// any failure replayable from one printed line.
+type Point struct {
+	Kernel    string
+	Ranks     int    // communicator size
+	Procs     int    // runtime.GOMAXPROCS during the run
+	Pool      int    // exec default-engine workers during the run
+	Transport string // "inproc" or "tcp"
+	Plan      string // PlanNone or a chaostest plan name
+	Seed      int64  // seeds the fault plan and the scheduling jitter
+}
+
+// fingerprintVersion guards the replay format; bump it when the encoding
+// changes so stale fingerprints fail loudly instead of replaying the wrong
+// configuration.
+const fingerprintVersion = "v1"
+
+// Fingerprint encodes the point as one replayable token:
+// v1/<kernel>/P<ranks>/G<procs>/W<pool>/<transport>/<plan>/s<seed>.
+func (p Point) Fingerprint() string {
+	return fmt.Sprintf("%s/%s/P%d/G%d/W%d/%s/%s/s%d",
+		fingerprintVersion, p.Kernel, p.Ranks, p.Procs, p.Pool, p.Transport, p.Plan, p.Seed)
+}
+
+// ParseFingerprint decodes a Fingerprint token back into its Point.
+func ParseFingerprint(s string) (Point, error) {
+	parts := strings.Split(s, "/")
+	if len(parts) != 8 || parts[0] != fingerprintVersion {
+		return Point{}, fmt.Errorf("stresstest: malformed fingerprint %q (want %s/kernel/P#/G#/W#/transport/plan/s#)", s, fingerprintVersion)
+	}
+	num := func(field, prefix string) (int, error) {
+		if !strings.HasPrefix(field, prefix) {
+			return 0, fmt.Errorf("stresstest: fingerprint field %q missing %q prefix", field, prefix)
+		}
+		return strconv.Atoi(field[len(prefix):])
+	}
+	var p Point
+	var err error
+	p.Kernel = parts[1]
+	if p.Ranks, err = num(parts[2], "P"); err != nil {
+		return Point{}, err
+	}
+	if p.Procs, err = num(parts[3], "G"); err != nil {
+		return Point{}, err
+	}
+	if p.Pool, err = num(parts[4], "W"); err != nil {
+		return Point{}, err
+	}
+	p.Transport, p.Plan = parts[5], parts[6]
+	if !strings.HasPrefix(parts[7], "s") {
+		return Point{}, fmt.Errorf("stresstest: fingerprint seed field %q missing 's' prefix", parts[7])
+	}
+	if p.Seed, err = strconv.ParseInt(parts[7][1:], 10, 64); err != nil {
+		return Point{}, err
+	}
+	return p, nil
+}
+
+// Grid is the sweep specification: the cartesian product of its axes is
+// enumerated in deterministic order for every kernel.
+type Grid struct {
+	Seed       int64
+	Ranks      []int
+	Procs      []int
+	Pools      []int
+	Transports []string
+	Plans      []string
+	// Jitter applies seeded scheduling pressure to every stressed run.
+	Jitter bool
+	// RecvTimeout arms the per-session watchdog; zero means 10 seconds.
+	// It is the deadlock-detection latency, so smoke grids keep it short.
+	RecvTimeout time.Duration
+}
+
+// SmokeGrid is the fast opt-in verify tier: 32 points per kernel covering
+// both transports, two rank counts, scheduling and fault pressure. The full
+// grid is the nightly tier.
+func SmokeGrid(seed int64) Grid {
+	return Grid{
+		Seed:        seed,
+		Ranks:       []int{2, 4},
+		Procs:       []int{1, 2},
+		Pools:       []int{1, 4},
+		Transports:  []string{"inproc", "tcp"},
+		Plans:       []string{PlanNone, "storm"},
+		Jitter:      true,
+		RecvTimeout: 10 * time.Second,
+	}
+}
+
+// FullGrid is the nightly sweep: every rank count the conformance suites
+// use, deeper pool/processor axes, and the whole chaostest plan matrix.
+func FullGrid(seed int64) Grid {
+	return Grid{
+		Seed:        seed,
+		Ranks:       []int{1, 2, 4, 8},
+		Procs:       []int{1, 2, 4},
+		Pools:       []int{1, 2, 4},
+		Transports:  []string{"inproc", "tcp"},
+		Plans:       append([]string{PlanNone}, chaostest.PlanNames()...),
+		Jitter:      true,
+		RecvTimeout: 30 * time.Second,
+	}
+}
+
+func (g Grid) recvTimeout() time.Duration {
+	if g.RecvTimeout > 0 {
+		return g.RecvTimeout
+	}
+	return 10 * time.Second
+}
+
+// Outcome is one executed grid point.
+type Outcome struct {
+	Point   Point
+	Err     error // nil on pass
+	Elapsed time.Duration
+}
+
+// pointSeed derives a per-point seed from the grid seed and every non-seed
+// coordinate, so distinct points exercise distinct fault and jitter streams
+// while the whole sweep stays a pure function of the grid seed.
+func pointSeed(master int64, p Point) int64 {
+	h := uint64(master) ^ 0x517cc1b727220a95
+	for _, s := range []string{p.Kernel, p.Transport, p.Plan} {
+		for _, b := range []byte(s) {
+			h = mix64(h ^ uint64(b))
+		}
+	}
+	for _, v := range []int{p.Ranks, p.Procs, p.Pool} {
+		h = mix64(h ^ uint64(v))
+	}
+	seed := int64(h % (1 << 31)) // keep fingerprints short and positive
+	if seed == 0 {
+		seed = 1
+	}
+	return seed
+}
+
+// mix64 is the splitmix64 finalizer (same avalanche the fault layer uses).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// runSession executes one watched comm session under cfg, returning per-rank
+// results and the session error; a session outliving the watchdog bound
+// reports a hang error instead of blocking the sweep forever.
+func runSession(size int, cfg comm.Config, k Kernel, bound time.Duration) ([]any, error) {
+	type sessionOut struct {
+		results []any
+		err     error
+	}
+	done := make(chan sessionOut, 1)
+	go func() {
+		results := make([]any, size)
+		_, serr := comm.RunConfig(size, cfg, func(c *comm.Comm) error {
+			res, kerr := k.Body(c)
+			results[c.Rank()] = res
+			return kerr
+		})
+		done <- sessionOut{results: results, err: serr}
+	}()
+	select {
+	case out := <-done:
+		return out.results, out.err
+	case <-time.After(bound):
+		return nil, fmt.Errorf("stresstest: HANG — session exceeded the %v harness watchdog (RecvTimeout should have fired first)", bound)
+	}
+}
+
+// runner executes points with a per-(kernel, config) reference cache so a
+// sweep does not recompute the pressure-free twin of every faulted point.
+type runner struct {
+	grid Grid
+	refs map[string]refEntry
+}
+
+type refEntry struct {
+	results []any
+	err     error
+}
+
+func newRunner(g Grid) *runner { return &runner{grid: g, refs: map[string]refEntry{}} }
+
+// apply pins the process-wide knobs of a point (GOMAXPROCS, exec default
+// pool) and returns a restore function. Grid execution is sequential, so
+// mutating process state between points is safe.
+func apply(p Point) func() {
+	prevProcs := runtime.GOMAXPROCS(p.Procs)
+	prevPool := exec.Default().Workers()
+	exec.SetDefaultWorkers(p.Pool)
+	return func() {
+		runtime.GOMAXPROCS(prevProcs)
+		exec.SetDefaultWorkers(prevPool)
+	}
+}
+
+// reference runs (and caches) the pressure-free twin of a point: same
+// kernel, ranks, transport, pool, and procs, but no fault plan and no
+// jitter. Pool and procs stay in the key because reduction results are only
+// guaranteed bitwise-stable at a fixed pool geometry.
+func (r *runner) reference(p Point, k Kernel, bound time.Duration) ([]any, error) {
+	key := fmt.Sprintf("%s/%d/%s/%d/%d", p.Kernel, p.Ranks, p.Transport, p.Pool, p.Procs)
+	if e, ok := r.refs[key]; ok {
+		return e.results, e.err
+	}
+	cfg := comm.Config{Transport: p.Transport, RecvTimeout: r.grid.recvTimeout()}
+	results, err := runSession(p.Ranks, cfg, k, bound)
+	r.refs[key] = refEntry{results: results, err: err}
+	return results, err
+}
+
+// Run executes one grid point: the pressure-free reference first, then the
+// stressed run, then the chaos-contract comparison. A nil error means the
+// point passed.
+func (r *runner) Run(p Point, k Kernel) Outcome {
+	start := time.Now()
+	restore := apply(p)
+	defer restore()
+	bound := r.grid.recvTimeout() + chaostest.Watchdog
+
+	ref, refErr := r.reference(p, k, bound)
+	if refErr != nil {
+		return Outcome{Point: p, Err: fmt.Errorf("reference run failed: %w", refErr), Elapsed: time.Since(start)}
+	}
+
+	plan, planActive, err := resolvePlan(p)
+	if err != nil {
+		return Outcome{Point: p, Err: err, Elapsed: time.Since(start)}
+	}
+	cfg := comm.Config{
+		Transport:   p.Transport,
+		Faults:      plan,
+		RecvTimeout: r.grid.recvTimeout(),
+	}
+	if r.grid.Jitter {
+		cfg.Jitter = &comm.SchedJitter{Seed: p.Seed ^ 0x6a09, Prob: 0.25, MaxYields: 3}
+	}
+	results, serr := runSession(p.Ranks, cfg, k, bound)
+	if serr != nil {
+		var fe *comm.FaultError
+		if planActive && errors.As(serr, &fe) {
+			return Outcome{Point: p, Elapsed: time.Since(start)} // clean typed failure under faults
+		}
+		return Outcome{Point: p, Err: serr, Elapsed: time.Since(start)}
+	}
+	for rank := 0; rank < p.Ranks; rank++ {
+		if !reflect.DeepEqual(results[rank], ref[rank]) {
+			return Outcome{Point: p,
+				Err:     fmt.Errorf("rank %d result diverged from pressure-free reference", rank),
+				Elapsed: time.Since(start)}
+		}
+	}
+	return Outcome{Point: p, Elapsed: time.Since(start)}
+}
+
+// resolvePlan maps a point's plan name onto a chaostest fault plan seeded
+// with the point seed. planActive reports whether typed failures are an
+// accepted outcome (only plans that actually perturb traffic may abort).
+func resolvePlan(p Point) (plan *comm.FaultPlan, planActive bool, err error) {
+	if p.Plan == PlanNone {
+		return nil, false, nil
+	}
+	plan, ok := chaostest.PlanNamed(p.Plan, p.Seed, p.Ranks)
+	if !ok {
+		return nil, false, fmt.Errorf("stresstest: unknown fault plan %q (have %s)", p.Plan, strings.Join(chaostest.PlanNames(), ", "))
+	}
+	return plan, plan.Active(), nil
+}
+
+// RunPoint executes a single grid point standalone — the -replay path.
+func RunPoint(g Grid, p Point, k Kernel) Outcome {
+	return newRunner(g).Run(p, k)
+}
+
+// Result summarizes one sweep. Checksum hashes every fingerprint with its
+// pass/fail status in execution order, so two sweeps of the same grid and
+// seed can be compared for determinism with one number.
+type Result struct {
+	Points   int
+	Failures []Outcome
+	Checksum uint64
+	Elapsed  time.Duration
+}
+
+// Points enumerates the grid for one kernel in deterministic order. Rank
+// counts below the kernel's floor are skipped.
+func (g Grid) Points(k Kernel) []Point {
+	var pts []Point
+	for _, ranks := range g.Ranks {
+		if ranks < k.MinRanks {
+			continue
+		}
+		for _, procs := range g.Procs {
+			for _, pool := range g.Pools {
+				for _, tr := range g.Transports {
+					for _, plan := range g.Plans {
+						p := Point{Kernel: k.Name, Ranks: ranks, Procs: procs, Pool: pool, Transport: tr, Plan: plan}
+						p.Seed = pointSeed(g.Seed, p)
+						pts = append(pts, p)
+					}
+				}
+			}
+		}
+	}
+	return pts
+}
+
+// Sweep replays every kernel over the grid in deterministic order. logf
+// (optional) receives one line per point and must not reorder output; it is
+// what keeps two sweeps of the same seed diffable.
+func Sweep(g Grid, kernels []Kernel, logf func(format string, args ...any)) Result {
+	start := time.Now()
+	r := newRunner(g)
+	res := Result{Checksum: uint64(g.Seed) ^ 0x9e3779b97f4a7c15}
+	for _, k := range kernels {
+		for _, p := range g.Points(k) {
+			out := r.Run(p, k)
+			res.Points++
+			status := "PASS"
+			if out.Err != nil {
+				status = "FAIL"
+				res.Failures = append(res.Failures, out)
+			}
+			for _, b := range []byte(p.Fingerprint() + ":" + status) {
+				res.Checksum = mix64(res.Checksum ^ uint64(b))
+			}
+			if logf != nil {
+				logf("%s %s", status, p.Fingerprint())
+			}
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// Minimize shrinks a failing point to the smallest configuration that still
+// reproduces the failure, trying (in order) to drop the fault plan, fall
+// back to the inproc transport, and lower ranks, pool, and GOMAXPROCS.
+// Every accepted reduction is re-verified by a fresh run, so the returned
+// point is guaranteed to fail; logf (optional) narrates the search.
+func Minimize(g Grid, p Point, k Kernel, logf func(format string, args ...any)) Point {
+	fails := func(q Point) bool {
+		return newRunner(g).Run(q, k).Err != nil
+	}
+	try := func(q Point, what string) bool {
+		ok := fails(q)
+		if logf != nil {
+			verdict := "still fails, keeping"
+			if !ok {
+				verdict = "passes, reverting"
+			}
+			logf("minimize: %s -> %s: %s", what, q.Fingerprint(), verdict)
+		}
+		return ok
+	}
+	if p.Plan != PlanNone {
+		if q := p; try(setPlan(q, PlanNone), "drop fault plan") {
+			p.Plan = PlanNone
+		}
+	}
+	if p.Transport != "inproc" {
+		q := p
+		q.Transport = "inproc"
+		if try(q, "inproc transport") {
+			p.Transport = "inproc"
+		}
+	}
+	for _, ranks := range []int{1, 2, 4} {
+		if ranks >= p.Ranks || ranks < k.MinRanks {
+			continue
+		}
+		q := p
+		q.Ranks = ranks
+		if try(q, fmt.Sprintf("P=%d", ranks)) {
+			p.Ranks = ranks
+			break
+		}
+	}
+	for _, field := range []struct {
+		name string
+		get  func(*Point) *int
+	}{{"pool", func(q *Point) *int { return &q.Pool }}, {"GOMAXPROCS", func(q *Point) *int { return &q.Procs }}} {
+		if *field.get(&p) > 1 {
+			q := p
+			*field.get(&q) = 1
+			if try(q, field.name+"=1") {
+				*field.get(&p) = 1
+			}
+		}
+	}
+	return p
+}
+
+func setPlan(p Point, plan string) Point {
+	p.Plan = plan
+	return p
+}

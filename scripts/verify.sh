@@ -13,10 +13,27 @@ go build ./...
 go vet ./...
 
 # Domain invariants: the odinvet multichecker (internal/analysis) enforces
-# collective symmetry, tag hygiene, hot-kernel allocation bans, span/stats
-# pairing, and plan single-threadedness. Run from source — no install step —
-# and fail hard on any finding (see DESIGN.md "Static analysis").
+# collective symmetry, collective-sequence ordering, tag hygiene, hot-kernel
+# allocation bans, span/stats pairing, and plan single-threadedness. Run
+# from source — no install step — and fail hard on any finding (see
+# DESIGN.md "Static analysis").
 go run ./cmd/odinvet ./...
+
+# collorder true-positive: the seed package (kept under testdata, so ./...
+# walks skip it) permutes two collectives across rank-dependent branches
+# with commsym suppressed. Both odinvet modes — standalone and the `go vet
+# -vettool` protocol — must flag it and fail; a silent pass means the
+# analyzer lost its teeth.
+if go run ./cmd/odinvet -checks=collorder ./internal/analysis/collorder/testdata/src/seed; then
+  echo "verify: odinvet (standalone) missed the collorder seed true-positive" >&2
+  exit 1
+fi
+go build -o /tmp/odinhpc-odinvet ./cmd/odinvet
+if go vet -vettool=/tmp/odinhpc-odinvet ./internal/analysis/collorder/testdata/src/seed 2>/tmp/odinhpc-vettool.out; then
+  echo "verify: odinvet (vettool) missed the collorder seed true-positive" >&2
+  exit 1
+fi
+grep -q collorder /tmp/odinhpc-vettool.out
 
 go test ./...
 
@@ -49,6 +66,19 @@ ODINHPC_TRANSPORT=tcp go test -race ./internal/comm ./internal/comm/launch
 # rank, wired by the comm/launch rendezvous over tcp.
 go build -o /tmp/odinhpc-odinrun ./cmd/odinrun
 /tmp/odinhpc-odinrun -transport=tcp -np=4 -n 512 cg
+
+# Opt-in stress tier (ODINHPC_STRESS=1): the odinstress smoke grid — the
+# conformance corpus across GOMAXPROCS × pool × ranks × transport × fault
+# plan with seeded scheduling jitter — run twice with the same seed; the
+# deterministic stdout reports (per-point PASS lines plus checksum) must be
+# identical. The full grid (-grid=full -heavy) is the nightly tier, too slow
+# for every verify run; see DESIGN.md "Stress testing".
+if [ "${ODINHPC_STRESS:-}" = "1" ]; then
+  go build -o /tmp/odinhpc-odinstress ./cmd/odinstress
+  /tmp/odinhpc-odinstress -seed=1 > /tmp/odinhpc-stress-1.out
+  /tmp/odinhpc-odinstress -seed=1 > /tmp/odinhpc-stress-2.out
+  diff /tmp/odinhpc-stress-1.out /tmp/odinhpc-stress-2.out
+fi
 
 # Disabled-path guard: with tracing off, every instrumentation site must
 # cost one atomic load, so the hot-loop benchmarks must stay within noise of
