@@ -551,6 +551,49 @@ func BenchmarkExecScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkSpmvFormats compares SpMV throughput format-by-format on the
+// stencil matrices the conformance corpus solves: the 1-D tridiagonal, 2-D
+// five-point, and 3-D seven-point Laplacians. The csr and sell rows time
+// the two kernels directly; the auto row times whatever operator
+// sparse.ChooseFormat picks (conversion happens outside the timed loop), so
+// auto matching the winning direct row is the heuristic's acceptance check.
+// Results are recorded in BENCH_spmv.json and discussed in EXPERIMENTS.md.
+func BenchmarkSpmvFormats(b *testing.B) {
+	mats := []struct {
+		name string
+		m    *sparse.CSR
+	}{
+		{"laplace1d-1048576", galeri.Laplace1D(1 << 20)},
+		{"laplace2d-512x512", galeri.Laplace2D(512, 512)},
+		{"laplace3d-48", galeri.Laplace3D(48, 48, 48)},
+	}
+	for _, mt := range mats {
+		n := mt.m.Rows
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = float64(i%97) / 97
+		}
+		ops := []struct {
+			name string
+			op   sparse.Operator
+		}{
+			{"csr", mt.m},
+			{"sell", sparse.NewSELL(mt.m)},
+			{"auto", sparse.AutoOperator(mt.m)},
+		}
+		for _, o := range ops {
+			b.Run(mt.name+"/"+o.name, func(b *testing.B) {
+				b.SetBytes(int64(8 * mt.m.NNZ()))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					o.op.MulVec(x, y)
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkFusionVM sweeps the register VM's block size against expression
 // depth. Each depth level appends one fused multiply-add (e = e*y + x), so
 // the instruction count grows linearly with depth while the traffic stays

@@ -8,5 +8,5 @@ import (
 )
 
 func TestHotalloc(t *testing.T) {
-	analysistest.Run(t, "testdata", hotalloc.Analyzer, "a", "dense")
+	analysistest.Run(t, "testdata", hotalloc.Analyzer, "a", "dense", "sell")
 }

@@ -20,3 +20,28 @@ func VecScale(dst, a []float64, s float64) {
 
 // grow is not a Vec* op; allocating here is fine.
 func grow(n int) []float64 { return make([]float64, n) }
+
+// VecFMA mirrors the superinstruction kernels: a fused triple-operand body
+// must stay allocation-free like any other Vec* op.
+func VecFMA(dst, a, b, c []float64) {
+	for i := range a {
+		dst[i] = float64(a[i]*b[i]) + c[i]
+	}
+}
+
+// VecFMABad stages its fused result through a fresh slice.
+func VecFMABad(dst, a, b, c []float64) {
+	tmp := append([]float64(nil), c...) // want `append allocates`
+	for i := range a {
+		dst[i] = float64(a[i]*b[i]) + tmp[i]
+	}
+	copy(dst, tmp)
+}
+
+// VecAccumAXPY is a fused op+sum tail: scalar accumulator, no allocation.
+func VecAccumAXPY(acc float64, a []float64, s float64, b []float64) float64 {
+	for i := range a {
+		acc += float64(a[i]*s) + b[i]
+	}
+	return acc
+}

@@ -12,10 +12,12 @@ import (
 	"odinhpc/internal/comm"
 	"odinhpc/internal/core"
 	"odinhpc/internal/distmap"
+	"odinhpc/internal/fusion"
 	"odinhpc/internal/galeri"
 	"odinhpc/internal/precond"
 	"odinhpc/internal/slicing"
 	"odinhpc/internal/solvers"
+	"odinhpc/internal/sparse"
 	"odinhpc/internal/teuchos"
 	"odinhpc/internal/tpetra"
 	"odinhpc/internal/ufunc"
@@ -46,6 +48,8 @@ func Corpus() []Kernel {
 		{Name: "halo-ring", MinRanks: 1, Body: haloRing},
 		{Name: "cg-laplace1d", MinRanks: 1, Body: cgLaplace1D},
 		{Name: "bicgstab-laplace1d", MinRanks: 1, Body: bicgstabLaplace1D},
+		{Name: "fused-deep16", MinRanks: 1, Body: fusedDeep16},
+		{Name: "poisson32-cg-sell", MinRanks: 1, Body: poissonSellCG},
 		{Name: "poisson128-amg-cg", MinRanks: 1, Heavy: true, Body: poissonAMGCG},
 		{Name: "permuted-collectives", MinRanks: 1, Buggy: true, Body: permutedCollectives},
 	}
@@ -186,6 +190,58 @@ func bicgstabLaplace1D(c *comm.Comm) (any, error) {
 		return nil, err
 	}
 	return append(x.GatherAll(), float64(res.Iterations), res.Residual), nil
+}
+
+// fusedDeep16 drives a depth-16 multiply-add chain through the fusion
+// register VM — the superinstruction pass collapses each level into one
+// FMA — then folds the same expression with SumEval, so both the fused
+// elementwise sweep and the fused reduction tail run under schedule jitter
+// and fault plans. Results must stay bitwise identical to the
+// pressure-free reference at every geometry.
+func fusedDeep16(c *comm.Comm) (any, error) {
+	ctx := core.NewContext(c)
+	const n = 41
+	x := core.FromFunc(ctx, []int{n}, func(g []int) float64 {
+		return float64(g[0])/8 - 2
+	})
+	y := core.FromFunc(ctx, []int{n}, func(g []int) float64 {
+		return 0.5 + float64(g[0]%5)*0.125
+	})
+	e := fusion.Var(x)
+	for d := 0; d < 16; d++ {
+		e = e.Mul(fusion.Var(y)).Add(fusion.Var(x))
+	}
+	out := fusion.Eval(e)
+	s := fusion.SumEval(e)
+	return append(out.Gather().Flatten(), s), nil
+}
+
+// poissonSellCG solves a 2-D Poisson system whose local blocks ride the
+// SELL-C-sigma fast path: the 32x32 five-point stencil is big and even
+// enough that the format auto-selector picks SELL on every rank at every
+// sweep geometry (<= 8 ranks leaves >= 128 local rows), which the kernel
+// asserts so the sweep provably exercises the wide format.
+func poissonSellCG(c *comm.Comm) (any, error) {
+	const nx = 32
+	n := nx * nx
+	m := distmap.NewBlock(n, c.Size())
+	a := galeri.Laplace2DDist(c, m, nx, nx)
+	if f := a.SpmvFormat(); f != sparse.FormatSELL {
+		return nil, fmt.Errorf("poisson32-cg-sell: auto-select picked %v, want sell", f)
+	}
+	h := 1.0 / float64(nx+1)
+	b := tpetra.NewVector(c, m)
+	b.FillFromGlobal(func(g int) float64 { return h * h * (1 + float64(g%7)*0.25) })
+	x := tpetra.NewVector(c, m)
+	res, err := solvers.CG(a, b, x, solvers.Options{Tol: 1e-9, MaxIter: 2000, RecordHistory: true})
+	if err != nil {
+		return nil, err
+	}
+	if !res.Converged {
+		return nil, fmt.Errorf("poisson32-cg-sell: %+v", res)
+	}
+	out := append(x.GatherAll(), float64(res.Iterations), res.Residual)
+	return append(out, res.History...), nil
 }
 
 // poissonAMGCG is the suite's biggest solve — 128^2 unknowns under

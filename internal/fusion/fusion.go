@@ -42,6 +42,7 @@ func traceVM(s *trace.Session, rank int32, block, lo, hi int, label string, t0 i
 type Expr struct {
 	kind  exprKind
 	leaf  *core.DistArray[float64]
+	slot  int     // leaf slot for kindSliceLeaf (see SliceSlot)
 	value float64 // for constants
 	un    func(float64) float64
 	bin   func(float64, float64) float64
@@ -57,6 +58,7 @@ const (
 	kindConst
 	kindUnary
 	kindBinary
+	kindSliceLeaf
 )
 
 // Var wraps a distributed array as an expression leaf.
@@ -183,6 +185,8 @@ func (e *Expr) String() string {
 	switch e.kind {
 	case kindLeaf:
 		return "x"
+	case kindSliceLeaf:
+		return fmt.Sprintf("s%d", e.slot)
 	case kindConst:
 		return fmt.Sprintf("%g", e.value)
 	case kindUnary:

@@ -25,6 +25,7 @@ package fusion
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -54,6 +55,17 @@ const (
 	vmHypot
 	vmCallUn
 	vmCallBin
+	// Superinstructions: never produced by lowering (no Expr constructor
+	// maps to them), only by the post-lowering peephole pass in emit. Their
+	// kernel bodies force intermediate rounding (internal/dense/fused.go),
+	// so each is bitwise identical to the pair it replaces.
+	vmFMA   // dst = float64(a*b) + c
+	vmFMAR  // dst = c + float64(a*b)
+	vmFMS   // dst = float64(a*b) - c
+	vmFMSR  // dst = c - float64(a*b)
+	vmAXPY  // dst = float64(a*s) + c   (s = scalar constant)
+	vmAXPYR // dst = c + float64(a*s)
+	vmFMA2  // dst = float64((float64(a*b)+c)*d) + e — two Horner steps
 )
 
 var vmOpNames = [...]string{
@@ -61,6 +73,8 @@ var vmOpNames = [...]string{
 	vmSquare: "square", vmSqrt: "sqrt", vmNeg: "neg", vmAbs: "abs",
 	vmSin: "sin", vmCos: "cos", vmExp: "exp", vmHypot: "hypot",
 	vmCallUn: "call", vmCallBin: "call2",
+	vmFMA: "fma", vmFMAR: "fmar", vmFMS: "fms", vmFMSR: "fmsr",
+	vmAXPY: "axpy", vmAXPYR: "axpyr", vmFMA2: "fma2",
 }
 
 // foldable reports whether an opcode may be evaluated at compile time when
@@ -83,11 +97,16 @@ type vmOperand struct {
 	idx  int
 }
 
-// vmInstr is one vector instruction: dst register = op(a[, b]).
+// vmInstr is one vector instruction: dst register = op(a[, b[, c]]).
+// Superinstructions use c for their third operand; axpy ops carry the
+// scalar factor in s instead of a constant-block operand.
 type vmInstr struct {
 	op   vmOp
 	dst  int
 	a, b vmOperand
+	c    vmOperand
+	d, e vmOperand // fma2 only
+	s    float64
 	un   func(float64) float64
 	bin  func(float64, float64) float64
 }
@@ -140,6 +159,27 @@ func SetBlockSize(n int) int {
 // BlockSize returns the current VM block size in elements.
 func BlockSize() int { return int(vmBlockSize.Load()) }
 
+var vmSuper atomic.Bool
+
+func init() { vmSuper.Store(true) }
+
+// SetSuperinstructions enables or disables the peephole superinstruction
+// pass (on by default) and returns the previous setting. Fused and unfused
+// programs are bitwise identical — the pass is a pure dispatch-count
+// optimization — so this is a test/benchmark knob, not a semantics switch.
+// Changing the setting drops the plan cache: cached programs were emitted
+// under the old setting and the structural key does not encode it.
+func SetSuperinstructions(on bool) bool {
+	prev := vmSuper.Swap(on)
+	if prev != on {
+		ResetPlanCache()
+	}
+	return prev
+}
+
+// Superinstructions reports whether the peephole pass is enabled.
+func Superinstructions() bool { return vmSuper.Load() }
+
 func (p *vmProgram) getState(block int) *vmState {
 	if st, _ := p.pool.Get().(*vmState); st != nil && st.block == block {
 		return st
@@ -163,23 +203,37 @@ func (p *vmProgram) getState(block int) *vmState {
 
 func (p *vmProgram) putState(st *vmState) { p.pool.Put(st) }
 
+// resolveOp materializes one operand as a length hi-lo span: leaf operands
+// window the flattened input, const operands use the pre-broadcast blocks,
+// register operands the scratch blocks.
+func (p *vmProgram) resolveOp(st *vmState, leaves [][]float64, o vmOperand, lo, hi int) []float64 {
+	switch o.kind {
+	case roLeaf:
+		return leaves[o.idx][lo:hi]
+	case roConst:
+		return st.consts[o.idx][:hi-lo]
+	default:
+		return st.regs[o.idx][:hi-lo]
+	}
+}
+
 // runBlock executes the whole program over elements [lo, hi) of the
 // flattened leaves. The last instruction writes directly into out[lo:hi]
 // when out is non-nil; otherwise the result block is left in regs[outReg].
 func (p *vmProgram) runBlock(st *vmState, leaves [][]float64, out []float64, lo, hi int) {
+	p.runCode(st, leaves, out, lo, hi, len(p.code))
+}
+
+// runCode executes the first ninstr instructions over [lo, hi) — the
+// whole program for runBlock, the pre-tail prefix for sumBlock's fused
+// accumulators.
+func (p *vmProgram) runCode(st *vmState, leaves [][]float64, out []float64, lo, hi, ninstr int) {
 	n := hi - lo
 	resolve := func(o vmOperand) []float64 {
-		switch o.kind {
-		case roLeaf:
-			return leaves[o.idx][lo:hi]
-		case roConst:
-			return st.consts[o.idx][:n]
-		default:
-			return st.regs[o.idx][:n]
-		}
+		return p.resolveOp(st, leaves, o, lo, hi)
 	}
-	last := len(p.code) - 1
-	for k := range p.code {
+	last := ninstr - 1
+	for k := 0; k < ninstr; k++ {
 		ins := &p.code[k]
 		var dst []float64
 		if k == last && out != nil {
@@ -219,6 +273,20 @@ func (p *vmProgram) runBlock(st *vmState, leaves [][]float64, out []float64, lo,
 			dense.VecHypot(dst, a, resolve(ins.b))
 		case vmCallBin:
 			dense.VecMap2(dst, a, resolve(ins.b), ins.bin)
+		case vmFMA:
+			dense.VecFMA(dst, a, resolve(ins.b), resolve(ins.c))
+		case vmFMAR:
+			dense.VecFMAR(dst, a, resolve(ins.b), resolve(ins.c))
+		case vmFMS:
+			dense.VecFMS(dst, a, resolve(ins.b), resolve(ins.c))
+		case vmFMSR:
+			dense.VecFMSR(dst, a, resolve(ins.b), resolve(ins.c))
+		case vmAXPY:
+			dense.VecAXPY(dst, a, ins.s, resolve(ins.c))
+		case vmAXPYR:
+			dense.VecAXPYR(dst, a, ins.s, resolve(ins.c))
+		case vmFMA2:
+			dense.VecFMA2(dst, a, resolve(ins.b), resolve(ins.c), resolve(ins.d), resolve(ins.e))
 		}
 	}
 }
@@ -246,10 +314,57 @@ func (p *vmProgram) sumSpan(st *vmState, leaves [][]float64, lo, hi int) float64
 		if bh > hi {
 			bh = hi
 		}
-		p.runBlock(st, leaves, nil, b, bh)
-		acc = dense.VecAccum(acc, st.regs[p.outReg][:bh-b])
+		acc = p.sumBlock(st, leaves, b, bh, acc)
 	}
 	return acc
+}
+
+// sumBlock runs one block and folds the program's result into acc. When
+// the final opcode has a fused op+sum accumulator, the result block is
+// never materialized: the prefix runs normally and the tail instruction
+// streams straight into the running fold, computing op(i) then acc +=
+// op(i) per element — the same values in the same order as running the
+// tail and folding its output with VecAccum.
+func (p *vmProgram) sumBlock(st *vmState, leaves [][]float64, lo, hi int, acc float64) float64 {
+	last := len(p.code) - 1
+	ins := &p.code[last]
+	switch ins.op {
+	case vmCopy, vmAdd, vmSub, vmMul, vmSquare,
+		vmFMA, vmFMAR, vmFMS, vmFMSR, vmAXPY, vmAXPYR, vmFMA2:
+		p.runCode(st, leaves, nil, lo, hi, last)
+	default:
+		p.runBlock(st, leaves, nil, lo, hi)
+		return dense.VecAccum(acc, st.regs[p.outReg][:hi-lo])
+	}
+	a := p.resolveOp(st, leaves, ins.a, lo, hi)
+	switch ins.op {
+	case vmCopy:
+		return dense.VecAccum(acc, a)
+	case vmAdd:
+		return dense.VecAccumAdd(acc, a, p.resolveOp(st, leaves, ins.b, lo, hi))
+	case vmSub:
+		return dense.VecAccumSub(acc, a, p.resolveOp(st, leaves, ins.b, lo, hi))
+	case vmMul:
+		return dense.VecAccumMul(acc, a, p.resolveOp(st, leaves, ins.b, lo, hi))
+	case vmSquare:
+		return dense.VecAccumSquare(acc, a)
+	case vmFMA:
+		return dense.VecAccumFMA(acc, a, p.resolveOp(st, leaves, ins.b, lo, hi), p.resolveOp(st, leaves, ins.c, lo, hi))
+	case vmFMAR:
+		return dense.VecAccumFMAR(acc, a, p.resolveOp(st, leaves, ins.b, lo, hi), p.resolveOp(st, leaves, ins.c, lo, hi))
+	case vmFMS:
+		return dense.VecAccumFMS(acc, a, p.resolveOp(st, leaves, ins.b, lo, hi), p.resolveOp(st, leaves, ins.c, lo, hi))
+	case vmFMSR:
+		return dense.VecAccumFMSR(acc, a, p.resolveOp(st, leaves, ins.b, lo, hi), p.resolveOp(st, leaves, ins.c, lo, hi))
+	case vmAXPY:
+		return dense.VecAccumAXPY(acc, a, ins.s, p.resolveOp(st, leaves, ins.c, lo, hi))
+	case vmAXPYR:
+		return dense.VecAccumAXPYR(acc, a, ins.s, p.resolveOp(st, leaves, ins.c, lo, hi))
+	default: // vmFMA2
+		return dense.VecAccumFMA2(acc, a,
+			p.resolveOp(st, leaves, ins.b, lo, hi), p.resolveOp(st, leaves, ins.c, lo, hi),
+			p.resolveOp(st, leaves, ins.d, lo, hi), p.resolveOp(st, leaves, ins.e, lo, hi))
+	}
 }
 
 // String disassembles the program (one instruction per line), for the
@@ -272,6 +387,13 @@ func (p *vmProgram) String() string {
 		switch ins.op {
 		case vmAdd, vmSub, vmMul, vmDiv, vmHypot, vmCallBin:
 			fmt.Fprintf(&b, "  r%d = %s %s, %s\n", ins.dst, vmOpNames[ins.op], opd(ins.a), opd(ins.b))
+		case vmFMA, vmFMAR, vmFMS, vmFMSR:
+			fmt.Fprintf(&b, "  r%d = %s %s, %s, %s\n", ins.dst, vmOpNames[ins.op], opd(ins.a), opd(ins.b), opd(ins.c))
+		case vmFMA2:
+			fmt.Fprintf(&b, "  r%d = %s %s, %s, %s, %s, %s\n", ins.dst, vmOpNames[ins.op],
+				opd(ins.a), opd(ins.b), opd(ins.c), opd(ins.d), opd(ins.e))
+		case vmAXPY, vmAXPYR:
+			fmt.Fprintf(&b, "  r%d = %s %s, %g, %s\n", ins.dst, vmOpNames[ins.op], opd(ins.a), ins.s, opd(ins.c))
 		default:
 			fmt.Fprintf(&b, "  r%d = %s %s\n", ins.dst, vmOpNames[ins.op], opd(ins.a))
 		}
@@ -294,12 +416,13 @@ const (
 type vmValue struct {
 	kind valKind
 	leaf int     // leaf slot for valLeaf
-	c    float64 // constant for valConst
+	c    float64 // constant for valConst; scalar factor for axpy values
 	op   vmOp
 	un   func(float64) float64
 	bin  func(float64, float64) float64
-	args [2]int // value ids (args[1] = -1 for unary)
+	args [5]int // value ids (unused slots = -1; args[2:] used by superinstructions)
 	uses int
+	dead bool // absorbed into a superinstruction; emits no instruction
 }
 
 // lowering accumulates the IR plus the structural cache key during one DFS
@@ -309,6 +432,7 @@ type lowering struct {
 	byPtr     map[*Expr]int
 	byKey     map[string]int
 	leafSlot  map[*core.DistArray[float64]]int
+	nSlices   int // 1 + highest SliceSlot index seen (0 when none)
 	key       strings.Builder
 	cacheable bool
 }
@@ -329,7 +453,51 @@ func (lw *lowering) intern(key string, v vmValue) int {
 	return id
 }
 
-func constKey(v float64) string { return fmt.Sprintf("C%016x", math.Float64bits(v)) }
+// key1 renders prefix+int keys ("L3", "R7") through a stack buffer.
+func key1(p byte, a int) string {
+	var buf [24]byte
+	b := append(buf[:0], p)
+	b = strconv.AppendInt(b, int64(a), 10)
+	return string(b)
+}
+
+// keyOp renders op keys ("U5(2)", "B!12(4,7)") through a stack buffer; b2
+// < 0 means unary. The bang marks user-closure nodes, whose keys embed a
+// unique serial instead of structural identity.
+func keyOp(p byte, bang bool, op vmOp, serial, a1, a2 int) string {
+	var buf [48]byte
+	b := append(buf[:0], p)
+	if bang {
+		b = append(b, '!')
+		b = strconv.AppendInt(b, int64(serial), 10)
+	} else {
+		b = strconv.AppendInt(b, int64(op), 10)
+	}
+	b = append(b, '(')
+	b = strconv.AppendInt(b, int64(a1), 10)
+	if a2 >= 0 {
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(a2), 10)
+	}
+	b = append(b, ')')
+	return string(b)
+}
+
+// constKey renders "C" + 16 lowercase hex digits of the value's bit
+// pattern through a fixed stack buffer; the old fmt.Sprintf version
+// allocated its formatting state on every constant of every lowering
+// (BenchmarkFusionCompile pins the compile-path allocation count).
+func constKey(v float64) string {
+	const hexDigits = "0123456789abcdef"
+	var buf [17]byte
+	buf[0] = 'C'
+	bits := math.Float64bits(v)
+	for i := 16; i >= 1; i-- {
+		buf[i] = hexDigits[bits&0xf]
+		bits >>= 4
+	}
+	return string(buf[:])
+}
 
 // visit lowers one node, folding builtin ops whose operands are all
 // constants (the fold calls the node's own function once — the same
@@ -346,7 +514,16 @@ func (lw *lowering) visit(e *Expr) int {
 			slot = len(lw.leafSlot)
 			lw.leafSlot[e.leaf] = slot
 		}
-		id = lw.intern(fmt.Sprintf("L%d", slot), vmValue{kind: valLeaf, leaf: slot})
+		id = lw.intern(key1('L', slot), vmValue{kind: valLeaf, leaf: slot})
+	case kindSliceLeaf:
+		// Slice leaves carry explicit slot numbers (the EvalSlices caller
+		// owns the numbering) but serialize exactly like Var leaf slots, so
+		// structurally equal slice and DistArray expressions share one cached
+		// program.
+		if e.slot+1 > lw.nSlices {
+			lw.nSlices = e.slot + 1
+		}
+		id = lw.intern(key1('L', e.slot), vmValue{kind: valLeaf, leaf: e.slot})
 	case kindConst:
 		id = lw.intern(constKey(e.value), vmValue{kind: valConst, c: e.value})
 	case kindUnary:
@@ -355,14 +532,14 @@ func (lw *lowering) visit(e *Expr) int {
 			id = lw.intern(constKey(e.un(lw.vals[a].c)), vmValue{kind: valConst, c: e.un(lw.vals[a].c)})
 			break
 		}
-		key := fmt.Sprintf("U%d(%d)", e.vop, a)
-		if e.vop == vmCallUn {
+		bang := e.vop == vmCallUn
+		if bang {
 			// A user closure has no compile-time identity: never merge two
 			// call nodes and never let the program into the cache.
 			lw.cacheable = false
-			key = fmt.Sprintf("U!%d(%d)", len(lw.vals), a)
 		}
-		id = lw.intern(key, vmValue{kind: valOp, op: e.vop, un: e.un, args: [2]int{a, -1}})
+		key := keyOp('U', bang, e.vop, len(lw.vals), a, -1)
+		id = lw.intern(key, vmValue{kind: valOp, op: e.vop, un: e.un, args: [5]int{a, -1, -1, -1, -1}})
 	default: // kindBinary
 		a := lw.visit(e.args[0])
 		b := lw.visit(e.args[1])
@@ -371,12 +548,12 @@ func (lw *lowering) visit(e *Expr) int {
 			id = lw.intern(constKey(v), vmValue{kind: valConst, c: v})
 			break
 		}
-		key := fmt.Sprintf("B%d(%d,%d)", e.vop, a, b)
-		if e.vop == vmCallBin {
+		bang := e.vop == vmCallBin
+		if bang {
 			lw.cacheable = false
-			key = fmt.Sprintf("B!%d(%d,%d)", len(lw.vals), a, b)
 		}
-		id = lw.intern(key, vmValue{kind: valOp, op: e.vop, bin: e.bin, args: [2]int{a, b}})
+		key := keyOp('B', bang, e.vop, len(lw.vals), a, b)
+		id = lw.intern(key, vmValue{kind: valOp, op: e.vop, bin: e.bin, args: [5]int{a, b, -1, -1, -1}})
 	}
 	lw.byPtr[e] = id
 	return id
@@ -393,8 +570,97 @@ func lower(e *Expr) (*lowering, int) {
 		cacheable: true,
 	}
 	root := lw.visit(e)
-	fmt.Fprintf(&lw.key, "R%d", root)
+	if len(lw.leafSlot) > 0 && lw.nSlices > 0 {
+		panic("fusion: expression mixes Var and SliceSlot leaves")
+	}
+	lw.key.WriteString(key1('R', root))
 	return lw, root
+}
+
+// superinstruct is the post-lowering peephole pass: it collapses an
+// add/sub and the single-use multiply feeding it into one fused
+// triple-operand instruction (mul+add -> fma, with mirrored variants
+// preserving operand order for NaN-payload faithfulness), then refines
+// fused multiplies with a constant factor into axpy, whose scalar rides in
+// the instruction word instead of a broadcast block. It runs on IR values
+// — before registers exist — so absorbed multiplies are simply marked dead
+// and never cost a register or a dispatch. Selection rules:
+//
+//   - only multiplies with exactly one consumer fuse (a shared product
+//     must stay materialized for its other readers, and CSE means shared
+//     products are common);
+//   - user-call values never fuse (they have no opcode to fuse into);
+//   - a NaN constant factor stays in block form, because a*s and s*a are
+//     guaranteed to agree bitwise only when at most one side can be NaN.
+func (lw *lowering) superinstruct(root int) {
+	fusableMul := func(id int) bool {
+		v := &lw.vals[id]
+		return v.kind == valOp && v.op == vmMul && v.uses == 1 && id != root
+	}
+	for id := range lw.vals {
+		v := &lw.vals[id]
+		if v.kind != valOp {
+			continue
+		}
+		switch v.op {
+		case vmAdd:
+			if m := v.args[0]; fusableMul(m) {
+				mv := &lw.vals[m]
+				v.op = vmFMA
+				v.args = [5]int{mv.args[0], mv.args[1], v.args[1], -1, -1}
+				mv.dead = true
+			} else if m := v.args[1]; fusableMul(m) {
+				mv := &lw.vals[m]
+				v.op = vmFMAR
+				v.args = [5]int{mv.args[0], mv.args[1], v.args[0], -1, -1}
+				mv.dead = true
+			}
+		case vmSub:
+			if m := v.args[0]; fusableMul(m) {
+				mv := &lw.vals[m]
+				v.op = vmFMS
+				v.args = [5]int{mv.args[0], mv.args[1], v.args[1], -1, -1}
+				mv.dead = true
+			} else if m := v.args[1]; fusableMul(m) {
+				mv := &lw.vals[m]
+				v.op = vmFMSR
+				v.args = [5]int{mv.args[0], mv.args[1], v.args[0], -1, -1}
+				mv.dead = true
+			}
+		}
+		// Second stage, Horner chains: an fma whose multiplicand is itself
+		// a single-use fma collapses into one five-operand fma2. Only the
+		// a-position fuses — it is the only shape where the chained
+		// product's operand order is preserved exactly.
+		if v.op == vmFMA {
+			if in := v.args[0]; in >= 0 {
+				iv := &lw.vals[in]
+				if iv.kind == valOp && iv.op == vmFMA && iv.uses == 1 && in != root {
+					v.op = vmFMA2
+					v.args = [5]int{iv.args[0], iv.args[1], iv.args[2], v.args[1], v.args[2]}
+					iv.dead = true
+				}
+			}
+		}
+		if v.op == vmFMA || v.op == vmFMAR {
+			a0, a1 := v.args[0], v.args[1]
+			s, varArg := 0.0, -1
+			if lw.vals[a0].kind == valConst && !math.IsNaN(lw.vals[a0].c) {
+				s, varArg = lw.vals[a0].c, a1
+			} else if lw.vals[a1].kind == valConst && !math.IsNaN(lw.vals[a1].c) {
+				s, varArg = lw.vals[a1].c, a0
+			}
+			if varArg >= 0 {
+				if v.op == vmFMA {
+					v.op = vmAXPY
+				} else {
+					v.op = vmAXPYR
+				}
+				v.c = s
+				v.args = [5]int{varArg, -1, v.args[2], -1, -1}
+			}
+		}
+	}
 }
 
 // emit turns the IR into a register program. Registers are allocated
@@ -403,19 +669,29 @@ func lower(e *Expr) (*lowering, int) {
 // in the same step may be reused as the destination (in-place ops are safe
 // for every opcode body).
 func (lw *lowering) emit(root int) *vmProgram {
-	p := &vmProgram{nleaves: len(lw.leafSlot), cacheable: lw.cacheable}
+	nleaves := len(lw.leafSlot)
+	if lw.nSlices > nleaves {
+		nleaves = lw.nSlices
+	}
+	p := &vmProgram{nleaves: nleaves, cacheable: lw.cacheable}
 
-	// Count uses so registers can be freed at last use.
+	// Count uses so registers can be freed at last use (and so the peephole
+	// can prove a product has exactly one consumer).
 	for _, v := range lw.vals {
 		if v.kind != valOp {
 			continue
 		}
-		lw.vals[v.args[0]].uses++
-		if v.args[1] >= 0 {
-			lw.vals[v.args[1]].uses++
+		for _, a := range v.args {
+			if a >= 0 {
+				lw.vals[a].uses++
+			}
 		}
 	}
 	lw.vals[root].uses++
+
+	if vmSuper.Load() {
+		lw.superinstruct(root)
+	}
 
 	constIdx := map[int]int{} // value id -> consts slot
 	regOf := make([]int, len(lw.vals))
@@ -468,26 +744,39 @@ func (lw *lowering) emit(root int) *vmProgram {
 
 	for id := range lw.vals {
 		v := &lw.vals[id]
-		if v.kind != valOp {
+		if v.kind != valOp || v.dead {
 			continue
 		}
 		ins := vmInstr{op: v.op, a: operand(v.args[0]), un: v.un, bin: v.bin}
+		if v.op == vmAXPY || v.op == vmAXPYR {
+			ins.s = v.c
+		}
 		if v.args[1] >= 0 {
 			ins.b = operand(v.args[1])
 		}
-		release(v.args[0])
-		if v.args[1] >= 0 {
-			release(v.args[1])
+		if v.args[2] >= 0 {
+			ins.c = operand(v.args[2])
+		}
+		if v.args[3] >= 0 {
+			ins.d = operand(v.args[3])
+		}
+		if v.args[4] >= 0 {
+			ins.e = operand(v.args[4])
+		}
+		for _, a := range v.args {
+			if a >= 0 {
+				release(a)
+			}
 		}
 		ins.dst = alloc()
 		regOf[id] = ins.dst
 		p.code = append(p.code, ins)
 	}
 
-	// A root that is itself a leaf compiles to a single copy (Analyze
-	// rejects leafless expressions before lowering, so a const root is
-	// unreachable).
-	if lw.vals[root].kind == valLeaf {
+	// A root that is itself a leaf — or a constant, reachable only through
+	// EvalSlices, since Analyze rejects leafless expressions — compiles to a
+	// single copy.
+	if lw.vals[root].kind != valOp {
 		p.code = append(p.code, vmInstr{op: vmCopy, dst: alloc(), a: operand(root)})
 		p.outReg = p.code[0].dst
 	} else {

@@ -24,6 +24,12 @@ type amgLevel struct {
 	p    *sparse.CSR // prolongator: coarse -> fine
 	r    *sparse.CSR // restriction: P^T
 	diag []float64
+	// SpMV operators per the sparse-format auto-selector (SELL-C-sigma on
+	// even-rowed stencil hierarchies, CSR otherwise). Bitwise-identical to
+	// applying the CSR members directly; Gauss-Seidel keeps CSR row access.
+	aop sparse.Operator
+	pop sparse.Operator
+	rop sparse.Operator
 }
 
 // AMGOptions configures the hierarchy construction and cycling.
@@ -75,7 +81,10 @@ func NewSerialAMG(a *sparse.CSR, opts AMGOptions) (*AMG, error) {
 		p := smoothedProlongator(cur, agg, nAgg, opts.JacobiOmega)
 		r := p.Transpose()
 		ac := r.MatMul(cur).MatMul(p)
-		amg.levels = append(amg.levels, amgLevel{a: cur, p: p, r: r, diag: cur.Diag()})
+		amg.levels = append(amg.levels, amgLevel{
+			a: cur, p: p, r: r, diag: cur.Diag(),
+			aop: sparse.AutoOperator(cur), pop: sparse.AutoOperator(p), rop: sparse.AutoOperator(r),
+		})
 		cur = ac
 	}
 	lu, err := sparse.FactorLU(cur)
@@ -83,7 +92,7 @@ func NewSerialAMG(a *sparse.CSR, opts AMGOptions) (*AMG, error) {
 		return nil, fmt.Errorf("precond: AMG coarse solve: %w", err)
 	}
 	amg.coarse = lu
-	amg.levels = append(amg.levels, amgLevel{a: cur, diag: cur.Diag()})
+	amg.levels = append(amg.levels, amgLevel{a: cur, diag: cur.Diag(), aop: sparse.AutoOperator(cur)})
 	return amg, nil
 }
 
@@ -117,8 +126,8 @@ func (m *AMG) LocalSolve(r, z []float64) {
 // maxCycles is reached, returning the cycle count and final relative
 // residual. Used when the AMG acts as a standalone serial solver.
 func (m *AMG) Solve(b, x []float64, tol float64, maxCycles int) (int, float64) {
-	a := m.levels[0].a
-	n := a.Rows
+	a := m.levels[0].aop
+	n := m.levels[0].a.Rows
 	r := make([]float64, n)
 	bn := nrm2(b)
 	if bn == 0 {
@@ -159,16 +168,16 @@ func (m *AMG) vcycle(level int, r, z []float64) {
 	m.smooth(l, r, z, m.opts.PreSweeps, false)
 	// Coarse-grid correction.
 	res := make([]float64, l.a.Rows)
-	l.a.MulVec(z, res)
+	l.aop.MulVec(z, res)
 	for i := range res {
 		res[i] = r[i] - res[i]
 	}
 	rc := make([]float64, l.r.Rows)
-	l.r.MulVec(res, rc)
+	l.rop.MulVec(res, rc)
 	zc := make([]float64, l.r.Rows)
 	m.vcycle(level+1, rc, zc)
 	corr := make([]float64, l.a.Rows)
-	l.p.MulVec(zc, corr)
+	l.pop.MulVec(zc, corr)
 	for i := range z {
 		z[i] += corr[i]
 	}

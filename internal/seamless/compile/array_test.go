@@ -1,0 +1,228 @@
+package compile
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"odinhpc/internal/fusion"
+	"odinhpc/internal/seamless"
+	"odinhpc/internal/seamless/vm"
+)
+
+// arrayKernels exercises every whole-array expression path: fused VM ops
+// (saxpy, chains, neg, elementwise builtins), closure fallbacks (dynamic
+// scalars, **, //, %, log), broadcasts on both sides, augmented
+// assignment, and fused templates re-entered from a loop.
+const arrayKernels = `
+def saxpy(x, y):
+    return 2.5 * x + y
+
+def chain(x, y, z):
+    t = x * y - z
+    u = sqrt(abs(t)) + exp(0.0 - abs(t))
+    return u / (1.0 + u)
+
+def dynscale(a, x, y):
+    return a * x + y
+
+def pymods(x):
+    return x % 3.0 + x // 2.0 - x ** 2.0
+
+def broadcast(x):
+    return 2.0 / (x * x + 1.0) - (x - 1) * -3.0
+
+def negate(x):
+    return -(x + 0.5)
+
+def logmix(x):
+    return log(abs(x) + 1.0) * 2.0
+
+def trig(x):
+    return sin(x) * cos(x) + sqrt(abs(x))
+
+def augarr(x, y):
+    x = x + y
+    x += y * 2.0
+    x *= 1.5
+    x /= 2.0
+    return x
+
+def deep(x, y):
+    acc = x
+    for i in range(16):
+        acc = acc * 1.000001 + y
+    return acc
+
+def helper(x):
+    return sin(x) * cos(x)
+
+def throughcall(x, y):
+    return helper(x + y) - helper(x - y)
+`
+
+func randArr(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64() * 3
+	}
+	return out
+}
+
+// TestArrayExprEnginesAgree pins the tentpole acceptance criterion: the
+// compiled engine's fusion fast path (and its closure fallbacks) produce
+// bit-for-bit the results of the vm engine's boxed elementwise loops.
+func TestArrayExprEnginesAgree(t *testing.T) {
+	pc, err := seamless.CompileSource(arrayKernels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv, err := seamless.CompileSource(arrayKernels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec, ev := NewEngine(pc), vm.NewEngine(pv)
+	rng := rand.New(rand.NewSource(1))
+	clone := func(a []float64) seamless.Value {
+		return seamless.ArrFV(append([]float64(nil), a...))
+	}
+	check := func(name string, args ...[]float64) {
+		t.Helper()
+		cargs := make([]seamless.Value, len(args))
+		vargs := make([]seamless.Value, len(args))
+		for i, a := range args {
+			cargs[i], vargs[i] = clone(a), clone(a)
+		}
+		cv, err := ec.Call(name, cargs...)
+		if err != nil {
+			t.Fatalf("%s compiled: %v", name, err)
+		}
+		vv, err := ev.Call(name, vargs...)
+		if err != nil {
+			t.Fatalf("%s vm: %v", name, err)
+		}
+		if cv.K != seamless.TArrFloat || vv.K != seamless.TArrFloat {
+			t.Fatalf("%s: kinds %v / %v, want float arrays", name, cv.K, vv.K)
+		}
+		if len(cv.AF) != len(vv.AF) {
+			t.Fatalf("%s: lengths %d vs %d", name, len(cv.AF), len(vv.AF))
+		}
+		for i := range cv.AF {
+			if math.Float64bits(cv.AF[i]) != math.Float64bits(vv.AF[i]) {
+				t.Fatalf("%s: [%d] differs: %x vs %x", name, i, cv.AF[i], vv.AF[i])
+			}
+		}
+	}
+	// Sizes straddle the VM block boundary; zero-length arrays included.
+	for _, n := range []int{0, 1, 7, 100, 1500} {
+		x, y, z := randArr(rng, n), randArr(rng, n), randArr(rng, n)
+		check("saxpy", x, y)
+		check("chain", x, y, z)
+		check("pymods", x)
+		check("broadcast", x)
+		check("negate", x)
+		check("logmix", x)
+		check("trig", x)
+		check("augarr", x, y)
+		check("deep", x, y)
+		check("throughcall", x, y)
+	}
+	// Dynamic scalar argument: falls back per value, results still agree.
+	x, y := randArr(rng, 64), randArr(rng, 64)
+	for _, a := range []float64{0, -1.5, 3.25} {
+		ca, err := ec.Call("dynscale", seamless.FloatV(a), clone(x), clone(x))
+		if err != nil {
+			t.Fatal(err)
+		}
+		va, err := ev.Call("dynscale", seamless.FloatV(a), clone(x), clone(x))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ca.AF {
+			if math.Float64bits(ca.AF[i]) != math.Float64bits(va.AF[i]) {
+				t.Fatalf("dynscale(%g): [%d] differs", a, i)
+			}
+		}
+	}
+	_ = y
+}
+
+// TestArrayFusionPlanCacheHits verifies the fast path actually runs on the
+// fusion VM: the first call compiles a plan, repeat calls hit the shared
+// plan cache (the acceptance criterion's PlanCacheStats visibility).
+func TestArrayFusionPlanCacheHits(t *testing.T) {
+	prog, err := seamless.CompileSource("def saxpy(x, y):\n    return 2.5 * x + y\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(prog)
+	x := seamless.ArrFV([]float64{1, 2, 3, 4})
+	y := seamless.ArrFV([]float64{5, 6, 7, 8})
+	fusion.ResetPlanCache()
+	if _, err := e.Call("saxpy", x, y); err != nil {
+		t.Fatal(err)
+	}
+	hits0, misses0 := fusion.PlanCacheStats()
+	if misses0 == 0 {
+		t.Fatal("first call should have compiled a fusion plan (cache miss)")
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := e.Call("saxpy", x, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits1, misses1 := fusion.PlanCacheStats()
+	if hits1 < hits0+3 {
+		t.Fatalf("repeat calls should hit the plan cache: hits %d -> %d", hits0, hits1)
+	}
+	if misses1 != misses0 {
+		t.Fatalf("repeat calls recompiled: misses %d -> %d", misses0, misses1)
+	}
+}
+
+// TestArrayExprErrors pins the rejection and runtime-fault behavior of
+// whole-array expressions in both engines.
+func TestArrayExprErrors(t *testing.T) {
+	const src = `
+def add(a, b):
+    return a + b
+
+def neg(a):
+    return -a
+`
+	for _, mk := range []func(*seamless.Program) interface {
+		Call(string, ...seamless.Value) (seamless.Value, error)
+	}{
+		func(p *seamless.Program) interface {
+			Call(string, ...seamless.Value) (seamless.Value, error)
+		} {
+			return NewEngine(p)
+		},
+		func(p *seamless.Program) interface {
+			Call(string, ...seamless.Value) (seamless.Value, error)
+		} {
+			return vm.NewEngine(p)
+		},
+	} {
+		prog, err := seamless.CompileSource(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := mk(prog)
+		// Int arrays have no whole-array arithmetic.
+		if _, err := e.Call("add", seamless.ArrIV([]int64{1}), seamless.ArrIV([]int64{2})); err == nil {
+			t.Fatal("int-array arithmetic should be rejected")
+		}
+		if _, err := e.Call("neg", seamless.ArrIV([]int64{1})); err == nil {
+			t.Fatal("int-array negation should be rejected")
+		}
+		// Mixed element kinds are rejected.
+		if _, err := e.Call("add", seamless.ArrFV([]float64{1}), seamless.ArrIV([]int64{2})); err == nil {
+			t.Fatal("float-array + int-array should be rejected")
+		}
+		// Length mismatches are runtime faults, not silent truncation.
+		if _, err := e.Call("add", seamless.ArrFV([]float64{1, 2}), seamless.ArrFV([]float64{1, 2, 3})); err == nil {
+			t.Fatal("length mismatch should be a runtime fault")
+		}
+	}
+}

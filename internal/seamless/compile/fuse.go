@@ -1,0 +1,199 @@
+package compile
+
+import (
+	"fmt"
+
+	"odinhpc/internal/fusion"
+	"odinhpc/internal/seamless"
+)
+
+// Whole-array expressions compile through the fusion register VM instead of
+// nested closure loops: the expression tree is translated once, at compile
+// time, into a fusion.Expr template over SliceSlot leaves, and each call
+// binds the current frame's arrays to the slots and runs the fused sweep
+// (one output allocation, blocked vector kernels, superinstructions). The
+// template's structural key is call-count invariant, so solver-style
+// kernels hit the fusion plan cache on every call after the first —
+// visible via fusion.PlanCacheStats.
+//
+// The VM path is taken per node, not all-or-nothing: a subtree the VM
+// cannot express is compiled by the closure fallbacks in expr.go and
+// enters the fused program as one leaf. Inexpressible shapes are //, %, **
+// (Python semantics have no VM opcode), log (no opcode), and non-literal
+// scalar operands — baking a dynamic scalar into the template as a
+// constant would put its current value in the plan-cache key and compile a
+// fresh program per value.
+
+// fuseOp reports whether a float-array expression's root node maps to a
+// fusion VM opcode with expressible operands.
+func (cc *fnCompiler) fuseOp(e seamless.Expr) bool {
+	switch x := e.(type) {
+	case *seamless.UnaryExpr:
+		return x.Op != "not"
+	case *seamless.BinExpr:
+		switch x.Op {
+		case "+", "-", "*", "/":
+		default:
+			return false
+		}
+		for _, o := range []seamless.Expr{x.L, x.R} {
+			if cc.typeOf(o) == seamless.TArrFloat {
+				continue
+			}
+			if _, ok := literalScalar(o); !ok {
+				return false
+			}
+		}
+		return true
+	case *seamless.CallExpr:
+		switch x.Name {
+		case "sqrt", "sin", "cos", "exp", "abs":
+			return len(x.Args) == 1 && cc.typeOf(x.Args[0]) == seamless.TArrFloat
+		}
+	}
+	return false
+}
+
+// literalScalar extracts a compile-time numeric constant: int and float
+// literals, possibly under unary minus.
+func literalScalar(e seamless.Expr) (float64, bool) {
+	switch x := e.(type) {
+	case *seamless.IntLit:
+		return float64(x.V), true
+	case *seamless.FloatLit:
+		return x.V, true
+	case *seamless.UnaryExpr:
+		if x.Op != "not" {
+			if v, ok := literalScalar(x.X); ok {
+				return -v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// fuseBuilder accumulates the leaf bindings of one template: leafFns[i]
+// produces the slice bound to SliceSlot(i) at call time.
+type fuseBuilder struct {
+	cc      *fnCompiler
+	leafFns []func(*frame) []float64
+	byName  map[string]*fusion.Expr // NameExpr leaves dedup to one slot
+}
+
+// node translates a float-array expression into a template node: a VM op
+// over translated operands when expressible, otherwise one leaf evaluated
+// by the closure path.
+func (fb *fuseBuilder) node(e seamless.Expr) (*fusion.Expr, error) {
+	if !fb.cc.fuseOp(e) {
+		return fb.leaf(e)
+	}
+	switch x := e.(type) {
+	case *seamless.UnaryExpr:
+		a, err := fb.node(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return fusion.Neg(a), nil
+	case *seamless.BinExpr:
+		l, err := fb.operand(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := fb.operand(x.R)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "+":
+			return l.Add(r), nil
+		case "-":
+			return l.Sub(r), nil
+		case "*":
+			return l.Mul(r), nil
+		default:
+			return l.Div(r), nil
+		}
+	default: // *seamless.CallExpr; fuseOp admits nothing else
+		call := e.(*seamless.CallExpr)
+		a, err := fb.node(call.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		switch call.Name {
+		case "sqrt":
+			return fusion.Sqrt(a), nil
+		case "sin":
+			return fusion.Sin(a), nil
+		case "cos":
+			return fusion.Cos(a), nil
+		case "exp":
+			return fusion.Exp(a), nil
+		default:
+			return fusion.Abs(a), nil
+		}
+	}
+}
+
+// operand translates a binary operand: arrays recurse, literal scalars
+// become constant nodes (fuseOp already verified literalness).
+func (fb *fuseBuilder) operand(e seamless.Expr) (*fusion.Expr, error) {
+	if fb.cc.typeOf(e) == seamless.TArrFloat {
+		return fb.node(e)
+	}
+	v, _ := literalScalar(e)
+	return fusion.Const(v), nil
+}
+
+// leaf allocates the next slice slot for an array expression the VM cannot
+// express. Variable reads bind straight to their frame slot and dedup by
+// name, so `x*x + x` uses one slot; anything else compiles through the
+// regular array path.
+func (fb *fuseBuilder) leaf(e seamless.Expr) (*fusion.Expr, error) {
+	if nx, ok := e.(*seamless.NameExpr); ok {
+		if l, seen := fb.byName[nx.Name]; seen {
+			return l, nil
+		}
+		slot := fb.cc.slot(nx.Name).slot
+		l := fusion.SliceSlot(len(fb.leafFns))
+		fb.leafFns = append(fb.leafFns, func(fr *frame) []float64 { return fr.af[slot] })
+		fb.byName[nx.Name] = l
+		return l, nil
+	}
+	fn, err := fb.cc.arrFExpr(e)
+	if err != nil {
+		return nil, err
+	}
+	l := fusion.SliceSlot(len(fb.leafFns))
+	fb.leafFns = append(fb.leafFns, fn)
+	return l, nil
+}
+
+// fuseArrExpr compiles a whole-array expression to a fused-VM closure,
+// reporting ok=false when the root is not a fusable op (a bare variable or
+// call should not pay a vmCopy program).
+func (cc *fnCompiler) fuseArrExpr(e seamless.Expr) (func(*frame) []float64, bool, error) {
+	if !cc.fuseOp(e) {
+		return nil, false, nil
+	}
+	fb := &fuseBuilder{cc: cc, byName: map[string]*fusion.Expr{}}
+	root, err := fb.node(e)
+	if err != nil {
+		return nil, false, err
+	}
+	leafFns := fb.leafFns
+	return func(fr *frame) []float64 {
+		leaves := make([][]float64, len(leafFns))
+		n := -1
+		for i, lf := range leafFns {
+			leaves[i] = lf(fr)
+			if n < 0 {
+				n = len(leaves[i])
+			} else if len(leaves[i]) != n {
+				panic(fmt.Sprintf("array length mismatch: %d vs %d", n, len(leaves[i])))
+			}
+		}
+		out := make([]float64, n)
+		fusion.EvalSlices(root, leaves, out)
+		return out
+	}, true, nil
+}

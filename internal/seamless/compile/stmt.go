@@ -322,6 +322,13 @@ func (cc *fnCompiler) store(ref slotRef, x seamless.Expr) (func(*frame) flow, er
 }
 
 func augType(op string, l, r seamless.Type) (seamless.Type, error) {
+	if l == seamless.TArrFloat || r == seamless.TArrFloat {
+		ok := func(t seamless.Type) bool { return t == seamless.TArrFloat || t.IsNumeric() }
+		if !ok(l) || !ok(r) {
+			return seamless.TUnknown, fmt.Errorf("compile: %q cannot combine %v and %v", op, l, r)
+		}
+		return seamless.TArrFloat, nil
+	}
 	if op == "/" {
 		return seamless.TFloat, nil
 	}

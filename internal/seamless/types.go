@@ -348,6 +348,21 @@ func (tf *TypedFn) inferStmt(s Stmt) (changed bool, err error) {
 }
 
 func binType(op string, l, r Type, pos Pos) (Type, error) {
+	// Whole-array arithmetic: float arrays combine elementwise with float
+	// arrays and broadcast against numeric scalars, always yielding a fresh
+	// float array. Int arrays stay element-access only — silent elementwise
+	// promotion to float would hide the copy a user asked to avoid.
+	if l == TArrFloat || r == TArrFloat {
+		ok := func(t Type) bool { return t == TArrFloat || t.IsNumeric() }
+		if !ok(l) || !ok(r) {
+			return TUnknown, errAt(pos.Line, pos.Col, "operator %q cannot combine %v and %v", op, l, r)
+		}
+		switch op {
+		case "+", "-", "*", "/", "//", "%", "**":
+			return TArrFloat, nil
+		}
+		return TUnknown, errAt(pos.Line, pos.Col, "unknown operator %q", op)
+	}
 	if !l.IsNumeric() || !r.IsNumeric() {
 		return TUnknown, errAt(pos.Line, pos.Col, "operator %q needs numeric operands, got %v and %v", op, l, r)
 	}
@@ -397,8 +412,11 @@ func (tf *TypedFn) inferExprInner(e Expr) (Type, error) {
 			}
 			return TBool, nil
 		}
+		if t == TArrFloat {
+			return TArrFloat, nil
+		}
 		if !t.IsNumeric() {
-			return TUnknown, errAt(x.Line, x.Col, "unary minus needs a number, got %v", t)
+			return TUnknown, errAt(x.Line, x.Col, "unary minus needs a number or float array, got %v", t)
 		}
 		return t, nil
 	case *BinExpr:
@@ -518,13 +536,19 @@ func builtinType(x *CallExpr, args []Type) (Type, bool, error) {
 		}
 		return TInt, true, nil
 	case "sqrt", "sin", "cos", "exp", "log":
+		if len(args) == 1 && args[0] == TArrFloat {
+			return TArrFloat, true, nil // elementwise over the whole array
+		}
 		if len(args) != 1 || !args[0].IsNumeric() {
-			return bad("%s() takes one numeric argument", x.Name)
+			return bad("%s() takes one numeric or float-array argument", x.Name)
 		}
 		return TFloat, true, nil
 	case "abs":
+		if len(args) == 1 && args[0] == TArrFloat {
+			return TArrFloat, true, nil
+		}
 		if len(args) != 1 || !args[0].IsNumeric() {
-			return bad("abs() takes one numeric argument")
+			return bad("abs() takes one numeric or float-array argument")
 		}
 		return args[0], true, nil
 	case "min", "max":

@@ -202,9 +202,12 @@ func (e *Engine) exec(p *Proc, args []seamless.Value) seamless.Value {
 			push(arith(ins.Op, l, r))
 		case OpNeg:
 			v := pop()
-			if v.K == seamless.TInt {
+			switch v.K {
+			case seamless.TInt:
 				push(seamless.IntV(-v.I))
-			} else {
+			case seamless.TArrFloat:
+				push(arrMap(v, func(x float64) float64 { return -x }))
+			default:
 				push(seamless.FloatV(-v.AsFloat()))
 			}
 		case OpNot:
@@ -289,6 +292,9 @@ func (e *Engine) invoke(c callee, args []seamless.Value) seamless.Value {
 }
 
 func arith(op Op, l, r seamless.Value) seamless.Value {
+	if l.K == seamless.TArrFloat || r.K == seamless.TArrFloat {
+		return arithArr(op, l, r)
+	}
 	bothInt := l.K == seamless.TInt && r.K == seamless.TInt
 	switch op {
 	case OpAdd:
@@ -325,6 +331,66 @@ func arith(op Op, l, r seamless.Value) seamless.Value {
 		return seamless.FloatV(math.Pow(l.AsFloat(), r.AsFloat()))
 	}
 	panic("vm: bad arithmetic op")
+}
+
+// arithArr implements whole-array arithmetic: elementwise over float
+// arrays, broadcasting scalar operands, each result a fresh array. These
+// boxed loops are the reference semantics the compiled engine's fusion fast
+// path must reproduce bitwise.
+func arithArr(op Op, l, r seamless.Value) seamless.Value {
+	var f func(a, b float64) float64
+	switch op {
+	case OpAdd:
+		f = func(a, b float64) float64 { return a + b }
+	case OpSub:
+		f = func(a, b float64) float64 { return a - b }
+	case OpMul:
+		f = func(a, b float64) float64 { return a * b }
+	case OpDiv:
+		f = func(a, b float64) float64 { return a / b }
+	case OpFloorDiv:
+		f = func(a, b float64) float64 { return math.Floor(a / b) }
+	case OpMod:
+		f = pythonModFloat
+	case OpPow:
+		f = math.Pow
+	default:
+		panic("vm: bad array arithmetic op")
+	}
+	switch {
+	case l.K == seamless.TArrFloat && r.K == seamless.TArrFloat:
+		if len(l.AF) != len(r.AF) {
+			panic(fmt.Sprintf("array length mismatch: %d vs %d", len(l.AF), len(r.AF)))
+		}
+		out := make([]float64, len(l.AF))
+		for i := range out {
+			out[i] = f(l.AF[i], r.AF[i])
+		}
+		return seamless.ArrFV(out)
+	case l.K == seamless.TArrFloat:
+		s := r.AsFloat()
+		out := make([]float64, len(l.AF))
+		for i := range out {
+			out[i] = f(l.AF[i], s)
+		}
+		return seamless.ArrFV(out)
+	default:
+		s := l.AsFloat()
+		out := make([]float64, len(r.AF))
+		for i := range out {
+			out[i] = f(s, r.AF[i])
+		}
+		return seamless.ArrFV(out)
+	}
+}
+
+// arrMap applies f elementwise to a float array, allocating the result.
+func arrMap(a seamless.Value, f func(float64) float64) seamless.Value {
+	out := make([]float64, len(a.AF))
+	for i, x := range a.AF {
+		out[i] = f(x)
+	}
+	return seamless.ArrFV(out)
 }
 
 func compare(op Op, l, r seamless.Value) bool {
@@ -422,17 +488,19 @@ func callBuiltin(name string, args []seamless.Value) seamless.Value {
 			return seamless.IntV(int64(len(a.AF)))
 		}
 		return seamless.IntV(int64(len(a.AI)))
-	case "sqrt":
-		return seamless.FloatV(math.Sqrt(args[0].AsFloat()))
-	case "sin":
-		return seamless.FloatV(math.Sin(args[0].AsFloat()))
-	case "cos":
-		return seamless.FloatV(math.Cos(args[0].AsFloat()))
-	case "exp":
-		return seamless.FloatV(math.Exp(args[0].AsFloat()))
-	case "log":
-		return seamless.FloatV(math.Log(args[0].AsFloat()))
+	case "sqrt", "sin", "cos", "exp", "log":
+		f := map[string]func(float64) float64{
+			"sqrt": math.Sqrt, "sin": math.Sin, "cos": math.Cos,
+			"exp": math.Exp, "log": math.Log,
+		}[name]
+		if args[0].K == seamless.TArrFloat {
+			return arrMap(args[0], f)
+		}
+		return seamless.FloatV(f(args[0].AsFloat()))
 	case "abs":
+		if args[0].K == seamless.TArrFloat {
+			return arrMap(args[0], math.Abs)
+		}
 		if args[0].K == seamless.TInt {
 			if args[0].I < 0 {
 				return seamless.IntV(-args[0].I)

@@ -1,0 +1,78 @@
+package solvers
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"odinhpc/internal/comm"
+	"odinhpc/internal/distmap"
+	"odinhpc/internal/galeri"
+	"odinhpc/internal/sparse"
+	"odinhpc/internal/tpetra"
+)
+
+// TestSolversFormatInvariant pins the SELL-C-sigma acceptance criterion:
+// forcing either sparse format produces bit-for-bit identical Krylov
+// iterations, because the SELL kernels accumulate rows in CSR order. The
+// matrix is rebuilt under each override since the format is chosen at
+// FillComplete.
+func TestSolversFormatInvariant(t *testing.T) {
+	run := func(format string, nx, ny, p int, bicg bool) ([]float64, sparse.Format, error) {
+		t.Setenv(sparse.SpmvEnv, format)
+		var out []float64
+		var chosen sparse.Format
+		err := comm.Run(p, func(c *comm.Comm) error {
+			m := distmap.NewBlock(nx*ny, c.Size())
+			a := galeri.Laplace2DDist(c, m, nx, ny)
+			xTrue := tpetra.NewVector(c, m)
+			xTrue.FillFromGlobal(func(g int) float64 { return math.Cos(0.3 * float64(g)) })
+			b := tpetra.NewVector(c, m)
+			a.Apply(xTrue, b)
+			x := tpetra.NewVector(c, m)
+			var err error
+			if bicg {
+				_, err = BiCGSTAB(a, b, x, Options{Tol: 1e-10})
+			} else {
+				_, err = CG(a, b, x, Options{Tol: 1e-10})
+			}
+			if err != nil {
+				return err
+			}
+			full := x.GatherAll()
+			if c.Rank() == 0 {
+				out = full
+				chosen = a.SpmvFormat()
+			}
+			return nil
+		})
+		return out, chosen, err
+	}
+	for _, tc := range []struct {
+		nx, ny, p int
+		bicg      bool
+	}{
+		{12, 11, 1, false},
+		{12, 11, 4, false},
+		{9, 8, 2, true},
+	} {
+		t.Run(fmt.Sprintf("nx%d-ny%d-p%d-bicg%v", tc.nx, tc.ny, tc.p, tc.bicg), func(t *testing.T) {
+			xc, fc, err := run("csr", tc.nx, tc.ny, tc.p, tc.bicg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			xs, fs, err := run("sell", tc.nx, tc.ny, tc.p, tc.bicg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fc != sparse.FormatCSR || fs != sparse.FormatSELL {
+				t.Fatalf("formats not forced: csr-run=%v sell-run=%v", fc, fs)
+			}
+			for i := range xc {
+				if math.Float64bits(xc[i]) != math.Float64bits(xs[i]) {
+					t.Fatalf("x[%d] differs between formats: %x vs %x", i, xc[i], xs[i])
+				}
+			}
+		})
+	}
+}

@@ -64,12 +64,15 @@ func (c *COO) ToCSR() *CSR {
 		vals[p] = c.v[k]
 		next[c.i[k]]++
 	}
-	// Pass 2: sort each row by column and merge duplicates in place.
+	// Pass 2: sort each row by column and merge duplicates in place. The
+	// output arrays are sized for the no-duplicate case up front so the
+	// append loop never reallocates.
 	m := &CSR{Rows: c.rows, Cols: c.cols, RowPtr: make([]int, c.rows+1)}
+	m.ColIdx = make([]int, 0, len(c.v))
+	m.Val = make([]float64, 0, len(c.v))
 	for r := 0; r < c.rows; r++ {
 		lo, hi := counts[r], counts[r+1]
-		row := rowSorter{cols[lo:hi], vals[lo:hi]}
-		sort.Sort(row)
+		sortRowPairs(cols[lo:hi], vals[lo:hi])
 		for k := lo; k < hi; k++ {
 			n := len(m.ColIdx)
 			if n > m.RowPtr[r] && m.ColIdx[n-1] == cols[k] {
@@ -84,16 +87,62 @@ func (c *COO) ToCSR() *CSR {
 	return m
 }
 
-type rowSorter struct {
-	cols []int
-	vals []float64
-}
-
-func (s rowSorter) Len() int           { return len(s.cols) }
-func (s rowSorter) Less(i, j int) bool { return s.cols[i] < s.cols[j] }
-func (s rowSorter) Swap(i, j int) {
-	s.cols[i], s.cols[j] = s.cols[j], s.cols[i]
-	s.vals[i], s.vals[j] = s.vals[j], s.vals[i]
+// sortRowPairs sorts the parallel cols/vals slices by ascending column
+// without allocating — sort.Sort(rowSorter{...}) boxed an interface per row,
+// which dominated ToCSR's allocation profile for assembly-heavy callers.
+// Insertion sort handles the short rows typical of stencils; longer rows
+// take a median-of-three Hoare quicksort.
+func sortRowPairs(cols []int, vals []float64) {
+	n := len(cols)
+	if n < 16 {
+		for i := 1; i < n; i++ {
+			col, val := cols[i], vals[i]
+			j := i - 1
+			for j >= 0 && cols[j] > col {
+				cols[j+1], vals[j+1] = cols[j], vals[j]
+				j--
+			}
+			cols[j+1], vals[j+1] = col, val
+		}
+		return
+	}
+	// Median-of-three pivot, moved to the middle slot.
+	mid := n / 2
+	if cols[mid] < cols[0] {
+		cols[0], cols[mid] = cols[mid], cols[0]
+		vals[0], vals[mid] = vals[mid], vals[0]
+	}
+	if cols[n-1] < cols[0] {
+		cols[0], cols[n-1] = cols[n-1], cols[0]
+		vals[0], vals[n-1] = vals[n-1], vals[0]
+	}
+	if cols[n-1] < cols[mid] {
+		cols[mid], cols[n-1] = cols[n-1], cols[mid]
+		vals[mid], vals[n-1] = vals[n-1], vals[mid]
+	}
+	p := cols[mid]
+	i, j := -1, n
+	for {
+		for {
+			i++
+			if cols[i] >= p {
+				break
+			}
+		}
+		for {
+			j--
+			if cols[j] <= p {
+				break
+			}
+		}
+		if i >= j {
+			break
+		}
+		cols[i], cols[j] = cols[j], cols[i]
+		vals[i], vals[j] = vals[j], vals[i]
+	}
+	sortRowPairs(cols[:j+1], vals[:j+1])
+	sortRowPairs(cols[j+1:], vals[j+1:])
 }
 
 // CSR is a compressed-sparse-row matrix. Within each row, column indices are

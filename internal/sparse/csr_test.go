@@ -325,6 +325,73 @@ func TestAtBounds(t *testing.T) {
 	m.At(3, 0)
 }
 
+func TestSortRowPairsMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200)
+		cols := make([]int, n)
+		vals := make([]float64, n)
+		type pair struct {
+			c int
+			v float64
+		}
+		ref := make([]pair, n)
+		for i := range cols {
+			cols[i] = rng.Intn(n/4 + 1) // force duplicates
+			vals[i] = rng.NormFloat64()
+			ref[i] = pair{cols[i], vals[i]}
+		}
+		sortRowPairs(cols, vals)
+		// Stable reference keeps duplicate columns' values in some order;
+		// compare as multisets of pairs plus sortedness of cols.
+		for i := 1; i < n; i++ {
+			if cols[i-1] > cols[i] {
+				return false
+			}
+		}
+		got := make(map[pair]int)
+		want := make(map[pair]int)
+		for i := range cols {
+			got[pair{cols[i], vals[i]}]++
+			want[ref[i]]++
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToCSRAllocsRowIndependent(t *testing.T) {
+	// The old per-row sort.Sort(rowSorter{...}) boxed one interface per row,
+	// so ToCSR's allocation count grew linearly with the row count. The
+	// in-place pair sort plus pre-sized output arrays make it a small
+	// constant: the five scratch/output slices, the CSR struct, and RowPtr.
+	build := func(n int) *COO {
+		c := NewCOO(n, n)
+		for i := n - 1; i >= 0; i-- { // reversed insertion: every row needs sorting
+			if i < n-1 {
+				c.Add(i, i+1, -1)
+			}
+			if i > 0 {
+				c.Add(i, i-1, -1)
+			}
+			c.Add(i, i, 2)
+		}
+		return c
+	}
+	c := build(2000)
+	allocs := testing.AllocsPerRun(10, func() {
+		m := c.ToCSR()
+		if m.NNZ() != 3*2000-2 {
+			t.Fatal("wrong nnz")
+		}
+	})
+	if allocs > 10 {
+		t.Fatalf("ToCSR allocations scale with rows: %v allocs for 2000 rows", allocs)
+	}
+}
+
 func TestMulVecDimsPanic(t *testing.T) {
 	m := tridiag(3)
 	for name, fn := range map[string]func(){

@@ -33,10 +33,11 @@ type CrsMatrix struct {
 	foreignVal []float64
 
 	// Assembled state.
-	local      *sparse.CSR // nOwnedRows x (nOwned + nGhost)
-	colGlobals []int       // local column id -> global index
-	nOwned     int         // owned domain entries (== local row count)
-	ghost      []int       // global indices of ghost columns (sorted)
+	local      *sparse.CSR  // nOwnedRows x (nOwned + nGhost)
+	sell       *sparse.SELL // SELL-C-sigma mirror of local when auto-selected
+	colGlobals []int        // local column id -> global index
+	nOwned     int          // owned domain entries (== local row count)
+	ghost      []int        // global indices of ghost columns (sorted)
 	plan       *GatherPlan
 	ghostBuf   []float64
 	xFull      []float64
@@ -158,9 +159,31 @@ func (a *CrsMatrix) FillComplete() {
 		}
 	}
 	a.local = coo.ToCSR()
+	a.refreshSell()
 	a.plan = NewGatherPlan(a.c, a.rowMap, a.ghost)
 	a.ghostBuf = make([]float64, len(a.ghost))
 	a.xFull = make([]float64, a.nOwned+len(a.ghost))
+}
+
+// refreshSell rebuilds (or drops) the SELL-C-sigma mirror of the local
+// block per the format auto-selector. Called after assembly and after any
+// operation that mutates local values. The conversion is bitwise-neutral:
+// SELL kernels accumulate each row in the same order as CSR.
+func (a *CrsMatrix) refreshSell() {
+	if sparse.ChooseFormat(a.local) == sparse.FormatSELL {
+		a.sell = sparse.NewSELL(a.local)
+	} else {
+		a.sell = nil
+	}
+}
+
+// SpmvFormat reports which local format Apply is using.
+func (a *CrsMatrix) SpmvFormat() sparse.Format {
+	a.mustBeFilled()
+	if a.sell != nil {
+		return sparse.FormatSELL
+	}
+	return sparse.FormatCSR
 }
 
 // Map returns the row (and domain, and range) map.
@@ -203,7 +226,11 @@ func (a *CrsMatrix) Apply(x, y *Vector) {
 	a.plan.Gather(a.c, x.Data, a.ghostBuf)
 	copy(a.xFull[:a.nOwned], x.Data)
 	copy(a.xFull[a.nOwned:], a.ghostBuf)
-	a.local.MulVec(a.xFull, y.Data)
+	if a.sell != nil {
+		a.sell.MulVec(a.xFull, y.Data)
+	} else {
+		a.local.MulVec(a.xFull, y.Data)
+	}
 }
 
 // Diagonal returns the matrix diagonal as a distributed vector.
@@ -220,6 +247,9 @@ func (a *CrsMatrix) Diagonal() *Vector {
 func (a *CrsMatrix) Scale(alpha float64) {
 	a.mustBeFilled()
 	a.local.Scale(alpha)
+	if a.sell != nil {
+		a.sell.Scale(alpha)
+	}
 }
 
 // LeftScale scales row i by d[i] (d distributed by the row map).
@@ -233,6 +263,7 @@ func (a *CrsMatrix) LeftScale(d *Vector) {
 			a.local.Val[k] *= d.Data[i]
 		}
 	}
+	a.refreshSell() // row scaling is not a uniform Scale; rebuild the mirror
 }
 
 // NormFrobenius returns the global Frobenius norm. Collective.

