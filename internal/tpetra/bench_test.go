@@ -52,8 +52,9 @@ func BenchmarkGatherPlan(b *testing.B) {
 			b.Fatal(err)
 		}
 	})
-	// ReportAllocs pins the pack-buffer hoist: applies reuse the plan's
-	// per-destination buffers instead of allocating fresh ones per Gather.
+	// ReportAllocs pins the pooled pack scratch: steady-state applies reuse
+	// per-call buffers from the plan's pool instead of allocating fresh ones
+	// per Gather (see also TestGatherSteadyStateAllocs).
 	b.Run("apply", func(b *testing.B) {
 		b.ReportAllocs()
 		err := comm.Run(p, func(c *comm.Comm) error {

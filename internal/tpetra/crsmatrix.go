@@ -39,8 +39,13 @@ type CrsMatrix struct {
 	nOwned     int          // owned domain entries (== local row count)
 	ghost      []int        // global indices of ghost columns (sorted)
 	plan       *GatherPlan
-	ghostBuf   []float64
-	xFull      []float64
+	// ghostBuf and xFull are matrix-owned Apply scratch, refilled in place
+	// by every Apply. Unlike the (pooled, shareable) GatherPlan underneath,
+	// this makes the matrix itself single-threaded: one CrsMatrix must not
+	// be Applied concurrently from multiple goroutines — planreuse enforces
+	// the shape, and a matrix is bound to its communicator anyway.
+	ghostBuf []float64
+	xFull    []float64
 }
 
 // NewCrsMatrix returns an empty matrix in assembly mode over the given row
@@ -217,7 +222,9 @@ func (a *CrsMatrix) mustBeFilled() {
 }
 
 // Apply computes y = A x. Both vectors must be distributed by the row map.
-// Collective: performs the ghost exchange then a local SpMV.
+// Collective: performs the ghost exchange then a local SpMV. Apply refills
+// the matrix-owned ghost/xFull scratch, so a CrsMatrix is single-threaded;
+// serialize Applies of one matrix (a warm rank group does this naturally).
 func (a *CrsMatrix) Apply(x, y *Vector) {
 	a.mustBeFilled()
 	if !x.Map().SameAs(a.rowMap) || !y.Map().SameAs(a.rowMap) {

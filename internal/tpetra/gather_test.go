@@ -137,6 +137,31 @@ func TestGatherPlanSelfTrafficIsZero(t *testing.T) {
 	}
 }
 
+// TestGatherSteadyStateAllocs pins the pooled pack scratch: once the pool is
+// warm, a Gather must not allocate pack buffers — the only steady-state
+// allocation left is the value Alltoall's result slice (1 at P=1). The bound
+// leaves headroom for a GC emptying the pool mid-measurement, which re-runs
+// the pool's New (scratch struct + outer slice) at most once per cycle.
+func TestGatherSteadyStateAllocs(t *testing.T) {
+	err := comm.Run(1, func(c *comm.Comm) error {
+		const n = 256
+		m := distmap.NewBlock(n, 1)
+		needed := []int{0, 1, n / 2, n - 1}
+		plan := tpetra.NewGatherPlan(c, m, needed)
+		local := make([]float64, n)
+		out := make([]float64, plan.OutLen())
+		plan.Gather(c, local, out) // warm the scratch pool
+		allocs := testing.AllocsPerRun(100, func() { plan.Gather(c, local, out) })
+		if allocs > 4 {
+			t.Errorf("steady-state Gather allocates %v objects per run, want <= 4", allocs)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 // naiveGather fetches needed elements via a dense Allgather of the whole
 // vector — the obvious O(N) reference the plan is bitwise-checked against.
 // Valid for contiguous block maps, where rank-order concatenation is global

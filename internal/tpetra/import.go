@@ -2,6 +2,7 @@ package tpetra
 
 import (
 	"fmt"
+	"sync"
 
 	"odinhpc/internal/comm"
 	"odinhpc/internal/distmap"
@@ -30,6 +31,14 @@ func (e *GatherLengthError) Error() string {
 // Tpetra's Import objects and ODIN's ghost/halo exchanges. Building costs one
 // Alltoall of index lists; each Gather costs one Alltoall of values whose
 // volume is exactly the number of remotely owned requested elements.
+//
+// Plan application is concurrency-safe: after construction a plan is
+// immutable, and each Gather packs into per-call scratch drawn from a pool,
+// so one plan may be applied simultaneously from many goroutines — the
+// cross-request plan cache a server needs. The one rule left is the
+// collective one: concurrent applications must each run on their own
+// congruent communicator (a warm rank group); two Gathers interleaved on the
+// *same* communicator would cross-match their value exchanges.
 type GatherPlan struct {
 	src     *distmap.Map
 	sendIdx [][]int // per destination rank: src-local indices this rank must send
@@ -38,10 +47,17 @@ type GatherPlan struct {
 	selfDst []int   // output positions for locally satisfied requests
 	outLen  int
 
-	// outgoing holds the per-destination pack buffers, sized once at build
-	// time and refilled in place by every Gather (Send copies payloads, so
-	// reuse is safe). Hoisting them here makes a plan stateful: one plan must
-	// not be applied concurrently from multiple goroutines on the same rank.
+	// scratch pools per-call pack buffers (*gatherScratch), sized from
+	// sendIdx on first use. Pooling keeps the steady-state allocation profile
+	// of the old hoisted buffers (pinned by BenchmarkGatherPlan) without the
+	// shared mutable state that made a plan single-goroutine.
+	scratch sync.Pool
+}
+
+// gatherScratch is one application's pack buffers: per destination rank, the
+// values to send. Pooled via a pointer so Get/Put stay allocation-free at
+// steady state.
+type gatherScratch struct {
 	outgoing [][]float64
 }
 
@@ -93,11 +109,14 @@ func NewGatherPlan(c *comm.Comm, src *distmap.Map, needed []int) *GatherPlan {
 		}
 		p.sendIdx[r] = idx
 	}
-	p.outgoing = make([][]float64, c.Size())
-	for r, idx := range p.sendIdx {
-		if len(idx) > 0 {
-			p.outgoing[r] = make([]float64, len(idx))
+	p.scratch.New = func() any {
+		s := &gatherScratch{outgoing: make([][]float64, len(p.sendIdx))}
+		for r, idx := range p.sendIdx {
+			if len(idx) > 0 {
+				s.outgoing[r] = make([]float64, len(idx))
+			}
 		}
+		return s
 	}
 	if ts != nil {
 		ts.Emit(trace.Event{Kind: trace.KindPlan, Rank: int32(c.Rank()), Worker: -1,
@@ -142,14 +161,18 @@ func (p *GatherPlan) Gather(c *comm.Comm, local, out []float64) {
 	for k, s := range p.selfSrc {
 		out[p.selfDst[k]] = local[s]
 	}
-	// Pack into the plan's hoisted buffers and exchange remote values.
+	// Pack into pooled per-call buffers and exchange remote values. The
+	// scratch goes back to the pool as soon as the Alltoall returns: Send
+	// copies payloads, so by then the buffers are free to reuse.
+	sc := p.scratch.Get().(*gatherScratch)
 	for r, idx := range p.sendIdx {
-		vals := p.outgoing[r]
+		vals := sc.outgoing[r]
 		for k, s := range idx {
 			vals[k] = local[s]
 		}
 	}
-	incoming := comm.Alltoall(c, p.outgoing)
+	incoming := comm.Alltoall(c, sc.outgoing)
+	p.scratch.Put(sc)
 	for r, vals := range incoming {
 		pos := p.recvPos[r]
 		if len(vals) != len(pos) {
@@ -171,6 +194,10 @@ func (p *GatherPlan) Gather(c *comm.Comm, local, out []float64) {
 // global length. It is a GatherPlan whose request list is exactly the
 // target map's local globals — Tpetra's Import in miniature, and the
 // machinery behind ODIN's redistribution strategies (experiment E3).
+//
+// Like the plan underneath, an Import is immutable after construction and
+// may be Applied concurrently, one application per congruent communicator
+// (Apply takes its communicator from the source vector).
 type Import struct {
 	src, dst *distmap.Map
 	plan     *GatherPlan
