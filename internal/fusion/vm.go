@@ -793,12 +793,21 @@ func (lw *lowering) emit(root int) *vmProgram {
 // real solver loop — a handful of distinct expressions — fully cached.
 const progCacheCap = 512
 
+// progEntry is one cache slot under single-flight compilation. The goroutine
+// that creates the entry (the sole counted miss for its key) compiles outside
+// the cache lock and closes ready when p is set; racing goroutines find the
+// entry, count a hit, and block on ready instead of double-compiling.
+type progEntry struct {
+	ready chan struct{}
+	p     *vmProgram
+}
+
 var progCache = struct {
 	mu     sync.Mutex
-	m      map[string]*vmProgram
+	m      map[string]*progEntry
 	hits   atomic.Int64
 	misses atomic.Int64
-}{m: map[string]*vmProgram{}}
+}{m: map[string]*progEntry{}}
 
 // PlanCacheStats returns the cumulative hit/miss counters of the compiled-
 // program cache. Only cacheable programs (no user closures) are counted.
@@ -806,10 +815,12 @@ func PlanCacheStats() (hits, misses int64) {
 	return progCache.hits.Load(), progCache.misses.Load()
 }
 
-// ResetPlanCache empties the program cache and zeroes its counters.
+// ResetPlanCache empties the program cache and zeroes its counters. In-flight
+// compilations keep their detached entries and still release their waiters;
+// they are simply no longer reachable from the fresh map.
 func ResetPlanCache() {
 	progCache.mu.Lock()
-	progCache.m = map[string]*vmProgram{}
+	progCache.m = map[string]*progEntry{}
 	progCache.mu.Unlock()
 	progCache.hits.Store(0)
 	progCache.misses.Store(0)
@@ -832,6 +843,10 @@ func keyHash(key string) string {
 // keyed on the DAG's structural serialization. Two structurally equal
 // expressions over different arrays share one program: leaf slots bind to
 // concrete arrays only at Analyze time.
+//
+// Compilation is single-flight: server goroutines racing on a cold key elect
+// one compiler (the only counted miss); the rest count hits and wait for its
+// program instead of duplicating the work and skewing PlanCacheStats.
 func compileProgram(e *Expr) *vmProgram {
 	lw, root := lower(e)
 	key := lw.key.String()
@@ -841,20 +856,40 @@ func compileProgram(e *Expr) *vmProgram {
 		return p
 	}
 	progCache.mu.Lock()
-	p, ok := progCache.m[key]
-	progCache.mu.Unlock()
-	if ok {
+	if ent, ok := progCache.m[key]; ok {
+		progCache.mu.Unlock()
 		progCache.hits.Add(1)
-		return p
+		<-ent.ready
+		if ent.p == nil {
+			// The elected compiler panicked and withdrew its entry; fall back
+			// to a local compile rather than propagating its failure.
+			p := lw.emit(root)
+			p.label = keyHash(key)
+			return p
+		}
+		return ent.p
 	}
-	progCache.misses.Add(1)
-	p = lw.emit(root)
-	p.label = keyHash(key)
-	progCache.mu.Lock()
 	if len(progCache.m) >= progCacheCap {
-		progCache.m = map[string]*vmProgram{}
+		progCache.m = map[string]*progEntry{}
 	}
-	progCache.m[key] = p
+	ent := &progEntry{ready: make(chan struct{})}
+	progCache.m[key] = ent
 	progCache.mu.Unlock()
+	progCache.misses.Add(1)
+	defer func() {
+		if ent.p == nil {
+			// Compilation panicked: withdraw the poisoned entry so the next
+			// caller retries, then release waiters to their local fallback.
+			progCache.mu.Lock()
+			if progCache.m[key] == ent {
+				delete(progCache.m, key)
+			}
+			progCache.mu.Unlock()
+		}
+		close(ent.ready)
+	}()
+	p := lw.emit(root)
+	p.label = keyHash(key)
+	ent.p = p
 	return p
 }
