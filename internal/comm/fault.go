@@ -610,8 +610,20 @@ func (c *Comm) watchfulRecv(src, tag int) Message {
 	}
 	box := c.box
 	deadline := time.Now().Add(c.f.recvTimeout)
+	// One watchdog timer serves every wait of this Recv, re-armed per
+	// iteration; a long-lived server polls these 10ms waits constantly, so
+	// allocating a fresh timer per iteration would churn the timer heap. The
+	// deferred Stop (registered after the unlock defer, so it runs first)
+	// keeps a timer from outliving its Recv on every exit path, normal or
+	// panicking.
+	var wake *time.Timer
 	box.mu.Lock()
 	defer box.mu.Unlock()
+	defer func() {
+		if wake != nil {
+			wake.Stop()
+		}
+	}()
 	for {
 		if m, ok := box.takeFaultMatchLocked(src, tag, c.f.stats); ok {
 			if c.f.model != nil {
@@ -637,21 +649,29 @@ func (c *Comm) watchfulRecv(src, tag int) Message {
 			box.mu.Lock()
 			panic(ferr)
 		}
-		waitWithWakeup(box, 10*time.Millisecond)
+		wake = waitWithWakeup(box, wake, 10*time.Millisecond)
 	}
 }
 
 // waitWithWakeup blocks on the mailbox condition for at most d. The timer
 // takes the mailbox lock before broadcasting, which serializes it after the
-// caller's cond.Wait registration and rules out a missed wakeup.
-func waitWithWakeup(box *mailbox, d time.Duration) {
-	t := time.AfterFunc(d, func() {
-		box.mu.Lock()
-		box.mu.Unlock() //nolint:staticcheck // empty critical section is the wakeup barrier
-		box.cond.Broadcast()
-	})
+// caller's cond.Wait registration and rules out a missed wakeup. The caller
+// threads one timer through successive waits (nil on the first): re-arming
+// beats allocating per 10ms poll, and a late re-fire after Reset is harmless
+// — the broadcast is idempotent and waiters re-check their conditions.
+func waitWithWakeup(box *mailbox, t *time.Timer, d time.Duration) *time.Timer {
+	if t == nil {
+		t = time.AfterFunc(d, func() {
+			box.mu.Lock()
+			box.mu.Unlock() //nolint:staticcheck // empty critical section is the wakeup barrier
+			box.cond.Broadcast()
+		})
+	} else {
+		t.Reset(d)
+	}
 	box.cond.Wait()
 	t.Stop()
+	return t
 }
 
 // crashCheck fires the planned rank crash at entry to a collective: the

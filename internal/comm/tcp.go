@@ -130,8 +130,11 @@ func (e *tcpEndpoint) Close() error {
 			}
 		}
 	})
+	// Deferred rather than stopped inline after wg.Wait: a panic out of the
+	// teardown below must not leave a 30s grace timer live per session — a
+	// warm-group server creates and destroys sessions for its whole lifetime.
+	defer force.Stop()
 	e.wg.Wait()
-	force.Stop()
 	for _, tc := range e.conns {
 		if tc != nil {
 			tc.nc.Close()
