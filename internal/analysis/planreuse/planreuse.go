@@ -1,11 +1,14 @@
 // Package planreuse implements the odinvet analyzer that flags concurrent
-// use of types documented single-threaded. tpetra.GatherPlan hoists its
-// pack buffers into the plan (PR 4's 56→40 allocs/op win), which makes a
-// plan cheap to reuse and unsafe to share: two goroutines applying the
-// same plan scribble over the same pack buffers. The race detector only
-// sees the interleaving that actually runs; this analyzer rejects the
-// shape — a shared plan's method called from inside a goroutine — at
-// compile time.
+// use of types documented single-threaded. The registry tracks the
+// codebase's contracts: since plan application went concurrency-safe
+// (GatherPlan/Import pack into pooled per-call scratch so compiled plans are
+// a legitimate cross-request cache), the plan types themselves are no longer
+// flagged. What remains genuinely single-threaded is per-instance owned
+// scratch — tpetra.CrsMatrix refills its ghost/xFull buffers on every Apply
+// — and per-connection stream ownership in the tcp transport. The race
+// detector only sees the interleaving that actually runs; this analyzer
+// rejects the shape — a shared instance's method called from inside a
+// goroutine — at compile time.
 package planreuse
 
 import (
@@ -22,13 +25,15 @@ import (
 var singleThreaded = []struct {
 	pkg, typ, contract string
 }{
-	// "The plan's pack buffers are allocated once ... not be applied
-	// concurrently from multiple goroutines on the same rank."
-	{"tpetra", "GatherPlan", "pack buffers are reused across applies"},
-	// Import wraps a GatherPlan and inherits its constraint.
-	{"tpetra", "Import", "wraps a GatherPlan whose pack buffers are reused"},
-	// Export is Import's dual over the reversed maps.
-	{"tpetra", "Export", "wraps a GatherPlan whose pack buffers are reused"},
+	// GatherPlan and Import are deliberately absent: their application packs
+	// into pooled per-call scratch, so a shared plan applied from many
+	// goroutines (each on its own congruent communicator) is the supported
+	// serving pattern, not a bug.
+	//
+	// "ghostBuf and xFull are matrix-owned Apply scratch, refilled in place
+	// by every Apply" — the matrix, unlike the plan underneath it, is
+	// single-threaded per instance.
+	{"tpetra", "CrsMatrix", "Apply refills the matrix-owned ghost/xFull scratch"},
 	// "push hands the frame to the connection's writer goroutine" — the tcp
 	// transport gives each peer connection exactly one reader and one writer
 	// goroutine that own its streams and reused buffers. Those two sanctioned
@@ -41,9 +46,10 @@ var singleThreaded = []struct {
 // Analyzer flags single-threaded plan types used from goroutines.
 var Analyzer = &analysis.Analyzer{
 	Name: "planreuse",
-	Doc: "methods of single-threaded plan types (tpetra.GatherPlan, Import, " +
-		"Export) must not be called on values shared into goroutines; give " +
-		"each goroutine its own plan or serialize the applies",
+	Doc: "methods of types with per-instance owned scratch (tpetra.CrsMatrix, " +
+		"the tcp transport's connections) must not be called on values shared " +
+		"into goroutines; shareable compiled plans (GatherPlan, Import) are " +
+		"exempt — their application uses pooled per-call scratch",
 	Run: run,
 }
 

@@ -1,18 +1,21 @@
-// Package tpetra mirrors the single-threaded plan types planreuse guards:
-// a plan's pack buffers are allocated once and reused across applies, so a
-// plan shared between goroutines races on them.
+// Package tpetra mirrors the concurrency contracts planreuse guards. The
+// plan types (GatherPlan, Import) pack into pooled per-call scratch, so
+// sharing them across goroutines is sanctioned; CrsMatrix owns its Apply
+// scratch (ghost buffer + full-column vector), refilled in place per Apply,
+// so a matrix shared between goroutines races on it.
 package tpetra
 
-// GatherPlan reuses its pack buffer across applies.
-type GatherPlan struct{ buf []float64 }
+// GatherPlan is immutable after construction; Gather draws pack buffers
+// from a pool, so concurrent applications are safe.
+type GatherPlan struct{ sendIdx [][]int }
 
 // NewPlan builds a fresh plan.
 func NewPlan() *GatherPlan { return &GatherPlan{} }
 
-// Gather applies the plan.
-func (p *GatherPlan) Gather(x []float64) []float64 { return p.buf }
+// Gather applies the plan with per-call scratch.
+func (p *GatherPlan) Gather(x []float64) []float64 { return x }
 
-// Import wraps a GatherPlan and inherits its constraint.
+// Import wraps a GatherPlan and shares its (safe) application contract.
 type Import struct{ plan *GatherPlan }
 
 // NewImport builds an Import.
@@ -20,3 +23,20 @@ func NewImport() *Import { return &Import{plan: NewPlan()} }
 
 // Apply runs the wrapped plan.
 func (im *Import) Apply(x []float64) []float64 { return im.plan.Gather(x) }
+
+// CrsMatrix owns its Apply scratch, refilled in place by every Apply —
+// single-threaded per instance.
+type CrsMatrix struct {
+	plan     *GatherPlan
+	ghostBuf []float64
+	xFull    []float64
+}
+
+// NewMatrix builds an assembled matrix.
+func NewMatrix() *CrsMatrix { return &CrsMatrix{plan: NewPlan()} }
+
+// Apply computes y = A x through the matrix-owned scratch.
+func (a *CrsMatrix) Apply(x, y []float64) {
+	copy(a.xFull, a.plan.Gather(x))
+	copy(y, a.xFull)
+}
