@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestParseExprAcceptAndEvaluate sweeps accepted grammar through the scalar
+// evaluator against hand-computed values (variables pinned via varFill).
+func TestParseExprAcceptAndEvaluate(t *testing.T) {
+	x := func(g int) float64 { return varFill("x", g) }
+	y := func(g int) float64 { return varFill("y", g) }
+	cases := []struct {
+		src  string
+		want func(g int) float64
+		vars []string
+	}{
+		{"x", x, []string{"x"}},
+		{"2.5", func(g int) float64 { return 2.5 }, nil},
+		{"x + y*2", func(g int) float64 { return x(g) + y(g)*2 }, []string{"x", "y"}},
+		{"-x", func(g int) float64 { return -x(g) }, []string{"x"}},
+		{"(x - y) / (y + 3)", func(g int) float64 { return (x(g) - y(g)) / (y(g) + 3) }, []string{"x", "y"}},
+		{"sqrt(abs(x))", func(g int) float64 { return math.Sqrt(math.Abs(x(g))) }, []string{"x"}},
+		{"hypot(x, y)", func(g int) float64 { return math.Hypot(x(g), y(g)) }, []string{"x", "y"}},
+		{"square(sin(x)) + square(cos(x))", func(g int) float64 {
+			s, c := math.Sin(x(g)), math.Cos(x(g))
+			return s*s + c*c
+		}, []string{"x"}},
+		{"exp(-x*x)", func(g int) float64 { return math.Exp(-x(g) * x(g)) }, []string{"x"}},
+		{"1e2 - x", func(g int) float64 { return 100 - x(g) }, []string{"x"}},
+	}
+	for _, tc := range cases {
+		ast, vars, err := parseExpr(tc.src)
+		if err != nil {
+			t.Errorf("parse %q: %v", tc.src, err)
+			continue
+		}
+		if len(vars) != len(tc.vars) {
+			t.Errorf("%q: vars = %v, want %v", tc.src, vars, tc.vars)
+			continue
+		}
+		for i := range vars {
+			if vars[i] != tc.vars[i] {
+				t.Errorf("%q: vars = %v, want %v", tc.src, vars, tc.vars)
+			}
+		}
+		for _, g := range []int{0, 1, 7, 100} {
+			got, want := ast.evalScalar(g), tc.want(g)
+			if math.Abs(got-want) > 1e-12*math.Max(1, math.Abs(want)) {
+				t.Errorf("%q at g=%d: got %g, want %g", tc.src, g, got, want)
+			}
+		}
+	}
+}
+
+// TestParseExprReject pins the error paths: each malformed input must fail
+// with a message naming the problem.
+func TestParseExprReject(t *testing.T) {
+	cases := []struct{ src, wantSub string }{
+		{"", "unexpected end"},
+		{"x +", "unexpected end"},
+		{"(x", "missing )"},
+		{"x)", "unexpected"},
+		{"foo(x)", "unknown function"},
+		{"hypot(x)", "takes 2 argument"},
+		{"sqrt(x, y)", "takes 1 argument"},
+		{"1..2", "bad number"},
+		{"x $ y", "unexpected"},
+	}
+	for _, tc := range cases {
+		_, _, err := parseExpr(tc.src)
+		if err == nil {
+			t.Errorf("parse %q succeeded, want error containing %q", tc.src, tc.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("parse %q: error %q does not contain %q", tc.src, err, tc.wantSub)
+		}
+	}
+}
+
+// TestExprRequestValidateCaps pins the request-level caps.
+func TestExprRequestValidateCaps(t *testing.T) {
+	if err := (&ExprRequest{Expr: "x", N: 16}).Validate(); err != nil {
+		t.Errorf("minimal request rejected: %v", err)
+	}
+	for _, req := range []*ExprRequest{
+		{Expr: "x", N: 0},
+		{Expr: "x", N: maxExprN + 1},
+		{Expr: "", N: 16},
+		{Expr: "1 + 2", N: 16}, // no array leaves
+		{Expr: "a+b+c+d+e+f+g+h+i", N: 16}, // 9 variables over the cap
+		{Expr: strings.Repeat("x+", maxExprLen/2+1) + "x", N: 16},
+	} {
+		if err := req.Validate(); err == nil {
+			t.Errorf("request %+v accepted, want validation error", req)
+		} else if _, ok := err.(*BadRequestError); !ok {
+			t.Errorf("request %+v rejected with %T, want *BadRequestError", req, err)
+		}
+	}
+}
+
+// TestSolveRequestValidate pins solve validation and defaulting.
+func TestSolveRequestValidate(t *testing.T) {
+	ok := &SolveRequest{Kind: "laplace1d", N: 10}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("minimal request rejected: %v", err)
+	}
+	if ok.Solver != "cg" || ok.RHS != "ones" {
+		t.Errorf("defaults not applied: %+v", ok)
+	}
+	for _, req := range []*SolveRequest{
+		{Kind: "mystery", N: 10},
+		{Kind: "laplace1d", N: 0},
+		{Kind: "laplace1d", N: maxSolveN + 1},
+		{Kind: "laplace2d", NX: 4},
+		{Kind: "laplace3d", NX: 4, NY: 4},
+		{Kind: "coo", N: 4},
+		{Kind: "coo", N: 4, Entries: []COOEntry{{Row: 9, Col: 0, Val: 1}}},
+		{Kind: "laplace1d", N: 10, Solver: "gmres"},
+		{Kind: "laplace1d", N: 10, MaxIter: maxIterCap + 1},
+		{Kind: "laplace1d", N: 10, RHS: "zeros"},
+	} {
+		if err := req.Validate(); err == nil {
+			t.Errorf("request %+v accepted, want validation error", req)
+		}
+	}
+}

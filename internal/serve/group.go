@@ -1,0 +1,206 @@
+// Package serve is the multi-tenant solver service behind cmd/odinserve: a
+// scheduler feeding concurrent solve and array-expression jobs onto a shared
+// pool of warm rank groups — communicators created once at startup and
+// reused across jobs, instead of paying a per-job comm.Run — with admission
+// control (bounded queue) and per-tenant quotas in front.
+//
+// The layering leans on the concurrency contracts underneath: compiled
+// tpetra plans and fusion programs are shared across requests (plan
+// application packs into pooled per-call scratch; program compilation is
+// single-flight), while per-instance state that is genuinely single-threaded
+// — a CrsMatrix's Apply scratch, a group's rank contexts — stays group-local
+// and is serialized by the group's one-job-at-a-time loop.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"odinhpc/internal/comm"
+	"odinhpc/internal/core"
+	"odinhpc/internal/tpetra"
+)
+
+// JobFunc is one job's per-rank body, executed by every rank of a warm
+// group with the group's communicator and that rank's warm state. Rank 0's
+// return value becomes the job result. The function must be collective-
+// deterministic: every rank takes the same collective path for the same
+// job, exactly as a comm.Run body would.
+type JobFunc func(c *comm.Comm, st *RankState) (any, error)
+
+// RankState is one rank's warm state, preserved across every job the group
+// runs: the rank's core context plus matrix and array caches keyed by
+// request fingerprint, so a repeated spec reuses its assembled matrix (and
+// the compiled GatherPlan inside it) instead of rebuilding per request.
+type RankState struct {
+	Ctx      *core.Context
+	matrices map[string]*tpetra.CrsMatrix
+	arrays   map[string]*core.DistArray[float64]
+}
+
+func newRankState(c *comm.Comm) *RankState {
+	return &RankState{
+		Ctx:      core.NewContext(c),
+		matrices: make(map[string]*tpetra.CrsMatrix),
+		arrays:   make(map[string]*core.DistArray[float64]),
+	}
+}
+
+// job is one admitted unit of work travelling scheduler → group → ranks.
+type job struct {
+	fn     JobFunc
+	tenant string
+
+	wg   sync.WaitGroup // one Done per rank
+	errs []error        // per-rank error slots (rank r writes errs[r] only)
+	out  any            // rank 0's result, read after wg.Wait
+
+	done    chan struct{} // closed once the result fields are final
+	err     error         // combined error, set before done closes
+	release func()        // returns the tenant's quota slot (idempotent)
+}
+
+// fail resolves the job without running it (queue drained at shutdown).
+func (jb *job) fail(err error) {
+	jb.err = err
+	if jb.release != nil {
+		jb.release()
+	}
+	close(jb.done)
+}
+
+// finish combines the per-rank outcomes after every rank reported, releases
+// the quota slot, and wakes the submitter. It reports whether the group's
+// session latched a fault (poisoned) and must be recycled.
+func (jb *job) finish(stats *Stats) (poisoned bool) {
+	for _, e := range jb.errs {
+		if e == nil {
+			continue
+		}
+		if jb.err == nil {
+			jb.err = e
+		}
+		var fe *comm.FaultError
+		if errors.As(e, &fe) {
+			poisoned = true
+		}
+	}
+	if jb.release != nil {
+		jb.release()
+	}
+	if jb.err != nil {
+		stats.failed.Add(1)
+	} else {
+		stats.completed.Add(1)
+	}
+	close(jb.done)
+	return poisoned
+}
+
+// Pending is a submitted job's handle.
+type Pending struct{ jb *job }
+
+// Wait blocks until the job resolves and returns its result.
+func (p *Pending) Wait() (any, error) {
+	<-p.jb.done
+	return p.jb.out, p.jb.err
+}
+
+// Done exposes the completion signal for select-based waiters.
+func (p *Pending) Done() <-chan struct{} { return p.jb.done }
+
+// group is one warm rank group: a persistent comm session whose rank
+// goroutines loop over per-rank lanes, plus a feeder pulling from the
+// scheduler's shared queue. Jobs run one at a time per group; concurrency
+// comes from the pool of groups.
+type group struct {
+	id       int
+	ranks    int
+	cfg      comm.Config
+	queue    <-chan *job
+	quit     <-chan struct{}
+	stats    *Stats
+	restarts atomic.Int64
+}
+
+// serve runs warm sessions until shutdown, recycling the session (fresh
+// communicators, fresh rank state) if a job poisons it with a latched
+// fault. Everything warm — compiled fusion programs, and any plan inside a
+// matrix spec reissued after the restart — survives in the process-wide
+// caches; only the group-local state is rebuilt.
+func (g *group) serve() {
+	for {
+		lanes := make([]chan *job, g.ranks)
+		for i := range lanes {
+			lanes[i] = make(chan *job)
+		}
+		sessErr := make(chan error, 1)
+		go func() {
+			_, err := comm.RunConfig(g.ranks, g.cfg, func(c *comm.Comm) error {
+				st := newRankState(c)
+				for jb := range lanes[c.Rank()] {
+					g.runOne(c, st, jb)
+				}
+				return nil
+			})
+			sessErr <- err
+		}()
+		poisoned := g.feed(lanes)
+		for _, ln := range lanes {
+			close(ln)
+		}
+		<-sessErr
+		if !poisoned {
+			return
+		}
+		g.restarts.Add(1)
+		g.stats.groupRestarts.Add(1)
+	}
+}
+
+// feed broadcasts queued jobs to every rank lane, one job at a time, and
+// waits for all ranks before resolving each. Returns true when the current
+// session must be recycled.
+func (g *group) feed(lanes []chan *job) bool {
+	for {
+		select {
+		case <-g.quit:
+			return false
+		case jb := <-g.queue:
+			jb.wg.Add(g.ranks)
+			for _, ln := range lanes {
+				ln <- jb
+			}
+			jb.wg.Wait()
+			if jb.finish(g.stats) {
+				return true
+			}
+		}
+	}
+}
+
+// runOne executes one job on one rank, converting panics — including typed
+// comm fault panics out of a wrecked collective — into per-rank errors so a
+// bad job cannot take the rank loop (and with it the whole group) down.
+func (g *group) runOne(c *comm.Comm, st *RankState, jb *job) {
+	defer jb.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			if err, ok := r.(error); ok {
+				jb.errs[c.Rank()] = fmt.Errorf("job panic on rank %d: %w", c.Rank(), err)
+				return
+			}
+			jb.errs[c.Rank()] = fmt.Errorf("job panic on rank %d: %v", c.Rank(), r)
+		}
+	}()
+	out, err := jb.fn(c, st)
+	if err != nil {
+		jb.errs[c.Rank()] = err
+		return
+	}
+	if c.Rank() == 0 {
+		jb.out = out
+	}
+}

@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"odinhpc/internal/comm"
+	"odinhpc/internal/distmap"
+	"odinhpc/internal/galeri"
+	"odinhpc/internal/solvers"
+	"odinhpc/internal/tpetra"
+)
+
+// Protective caps: one bad request must not wedge a shared group for
+// everyone (jobs run one at a time per group).
+const (
+	maxSolveN   = 1 << 20 // global unknowns
+	maxCOO      = 1 << 16 // posted triplets
+	maxIterCap  = 10000
+	maxExprLen  = 4096 // expression source bytes
+	maxExprN    = 1 << 22
+	maxExprVars = 8
+)
+
+// BadRequestError marks a request rejected by validation, before any group
+// time is spent. HTTP maps it to 400.
+type BadRequestError struct{ Msg string }
+
+func (e *BadRequestError) Error() string { return "serve: bad request: " + e.Msg }
+
+func badReq(format string, args ...any) error {
+	return &BadRequestError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// COOEntry is one posted matrix triplet.
+type COOEntry struct {
+	Row int     `json:"row"`
+	Col int     `json:"col"`
+	Val float64 `json:"val"`
+}
+
+// SolveRequest is POST /v1/solve: an iterative solve of a galeri-generated
+// or posted matrix on a warm rank group.
+type SolveRequest struct {
+	Kind    string     `json:"kind"`              // laplace1d | laplace2d | laplace3d | tridiag | coo
+	N       int        `json:"n,omitempty"`       // unknowns (laplace1d, tridiag, coo)
+	NX      int        `json:"nx,omitempty"`      // grid dims (laplace2d/3d)
+	NY      int        `json:"ny,omitempty"`
+	NZ      int        `json:"nz,omitempty"`
+	Entries []COOEntry `json:"entries,omitempty"` // kind=coo triplets (symmetrized use is caller's business)
+	Solver  string     `json:"solver,omitempty"`  // cg (default) | bicgstab
+	MaxIter int        `json:"max_iter,omitempty"`
+	Tol     float64    `json:"tol,omitempty"`
+	RHS     string     `json:"rhs,omitempty"` // ones (default) | index
+}
+
+// SolveResponse is the solve job result.
+type SolveResponse struct {
+	Converged  bool    `json:"converged"`
+	Iterations int     `json:"iterations"`
+	Residual   float64 `json:"residual"`
+	XNorm      float64 `json:"x_norm"`
+	N          int     `json:"n"`
+	Millis     float64 `json:"millis"`
+}
+
+// size returns the global unknown count for the request kind.
+func (r *SolveRequest) size() int {
+	switch r.Kind {
+	case "laplace2d":
+		return r.NX * r.NY
+	case "laplace3d":
+		return r.NX * r.NY * r.NZ
+	default:
+		return r.N
+	}
+}
+
+// Validate normalizes defaults and rejects out-of-cap or malformed specs.
+func (r *SolveRequest) Validate() error {
+	switch r.Kind {
+	case "laplace1d", "tridiag", "coo":
+		if r.N <= 0 {
+			return badReq("kind %q needs n > 0", r.Kind)
+		}
+	case "laplace2d":
+		if r.NX <= 0 || r.NY <= 0 {
+			return badReq("laplace2d needs nx, ny > 0")
+		}
+	case "laplace3d":
+		if r.NX <= 0 || r.NY <= 0 || r.NZ <= 0 {
+			return badReq("laplace3d needs nx, ny, nz > 0")
+		}
+	default:
+		return badReq("unknown matrix kind %q", r.Kind)
+	}
+	if n := r.size(); n > maxSolveN {
+		return badReq("%d unknowns over the %d cap", n, maxSolveN)
+	}
+	if r.Kind == "coo" {
+		if len(r.Entries) == 0 {
+			return badReq("kind coo needs entries")
+		}
+		if len(r.Entries) > maxCOO {
+			return badReq("%d entries over the %d cap", len(r.Entries), maxCOO)
+		}
+		for _, e := range r.Entries {
+			if e.Row < 0 || e.Row >= r.N || e.Col < 0 || e.Col >= r.N {
+				return badReq("entry (%d,%d) outside %d x %d", e.Row, e.Col, r.N, r.N)
+			}
+		}
+	}
+	switch r.Solver {
+	case "":
+		r.Solver = "cg"
+	case "cg", "bicgstab":
+	default:
+		return badReq("unknown solver %q", r.Solver)
+	}
+	if r.MaxIter < 0 || r.MaxIter > maxIterCap {
+		return badReq("max_iter %d outside [0,%d]", r.MaxIter, maxIterCap)
+	}
+	switch r.RHS {
+	case "":
+		r.RHS = "ones"
+	case "ones", "index":
+	default:
+		return badReq("unknown rhs %q", r.RHS)
+	}
+	return nil
+}
+
+// fingerprint keys the warm matrix cache by everything that shapes the
+// assembled matrix (solver/rhs/tol do not).
+func (r *SolveRequest) fingerprint() string {
+	h := fnv.New64a()
+	for _, e := range r.Entries {
+		fmt.Fprintf(h, "%d,%d,%g;", e.Row, e.Col, e.Val)
+	}
+	return fmt.Sprintf("%s/n=%d/%dx%dx%d/coo=%x", r.Kind, r.N, r.NX, r.NY, r.NZ, h.Sum64())
+}
+
+// matrix returns the rank's warm assembled matrix for the spec, building it
+// (collectively) on first use. The plan compiled inside FillComplete is
+// thereby reused across every request with the same fingerprint.
+func (r *SolveRequest) matrix(c *comm.Comm, st *RankState) *tpetra.CrsMatrix {
+	key := r.fingerprint()
+	if a, ok := st.matrices[key]; ok {
+		return a
+	}
+	m := distmap.NewBlock(r.size(), c.Size())
+	var a *tpetra.CrsMatrix
+	switch r.Kind {
+	case "laplace1d":
+		a = galeri.Laplace1DDist(c, m)
+	case "laplace2d":
+		a = galeri.Laplace2DDist(c, m, r.NX, r.NY)
+	case "laplace3d":
+		a = galeri.Laplace3DDist(c, m, r.NX, r.NY, r.NZ)
+	case "tridiag":
+		a = galeri.BuildDist(c, m, galeri.TridiagRow(r.N, -1, 2.5, -1))
+	case "coo":
+		a = tpetra.NewCrsMatrix(c, m)
+		me := c.Rank()
+		for _, e := range r.Entries {
+			if m.Owner(e.Row) == me {
+				a.InsertGlobal(e.Row, e.Col, e.Val)
+			}
+		}
+		a.FillComplete()
+	}
+	st.matrices[key] = a
+	return a
+}
+
+// Job builds the per-rank body for a validated solve request.
+func (r *SolveRequest) Job() JobFunc {
+	return func(c *comm.Comm, st *RankState) (any, error) {
+		t0 := time.Now()
+		a := r.matrix(c, st)
+		m := a.Map()
+		b := tpetra.NewVector(c, m)
+		switch r.RHS {
+		case "index":
+			n := float64(m.NumGlobal())
+			b.FillFromGlobal(func(g int) float64 { return float64(g)/n - 0.5 })
+		default:
+			b.PutScalar(1)
+		}
+		x := tpetra.NewVector(c, m)
+		opt := solvers.Options{MaxIter: r.MaxIter, Tol: r.Tol}
+		var (
+			res solvers.Result
+			err error
+		)
+		if r.Solver == "bicgstab" {
+			res, err = solvers.BiCGSTAB(a, b, x, opt)
+		} else {
+			res, err = solvers.CG(a, b, x, opt)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", r.Solver, r.Kind, err)
+		}
+		return &SolveResponse{
+			Converged:  res.Converged,
+			Iterations: res.Iterations,
+			Residual:   res.Residual,
+			XNorm:      x.Norm2(),
+			N:          m.NumGlobal(),
+			Millis:     float64(time.Since(t0).Microseconds()) / 1000,
+		}, nil
+	}
+}

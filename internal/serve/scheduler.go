@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"odinhpc/internal/comm"
+	"odinhpc/internal/fusion"
+)
+
+// ErrStopped is returned for submissions after Stop.
+var ErrStopped = errors.New("serve: scheduler stopped")
+
+// OverloadError is the typed admission-control rejection: the bounded queue
+// is full. HTTP maps it to 429.
+type OverloadError struct {
+	Depth int // configured queue depth, all slots occupied
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("serve: job queue full (%d queued); retry later", e.Depth)
+}
+
+// Options configures a Scheduler.
+type Options struct {
+	Groups     int         // warm rank groups (default 2)
+	Ranks      int         // ranks per group (default 2)
+	QueueDepth int         // bounded admission queue (default 64)
+	Comm       comm.Config // per-group session config (transport, watchdog)
+	Quotas     *Quotas     // per-tenant limits; nil admits everything
+}
+
+func (o Options) withDefaults() Options {
+	if o.Groups <= 0 {
+		o.Groups = 2
+	}
+	if o.Ranks <= 0 {
+		o.Ranks = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	return o
+}
+
+// Scheduler admits jobs into a bounded queue and runs them on a pool of
+// warm rank groups. All groups share the queue, so an idle group picks up
+// the next job regardless of which tenant sent it.
+type Scheduler struct {
+	opts    Options
+	queue   chan *job
+	quit    chan struct{}
+	groups  []*group
+	quotas  *Quotas
+	stats   Stats
+	wg      sync.WaitGroup
+	stopped atomic.Bool
+}
+
+// NewScheduler starts the group pool. Every group's communicators are
+// created now and reused for the scheduler's whole lifetime.
+func NewScheduler(opts Options) *Scheduler {
+	opts = opts.withDefaults()
+	s := &Scheduler{
+		opts:   opts,
+		queue:  make(chan *job, opts.QueueDepth),
+		quit:   make(chan struct{}),
+		quotas: opts.Quotas,
+	}
+	for i := 0; i < opts.Groups; i++ {
+		g := &group{
+			id:    i,
+			ranks: opts.Ranks,
+			cfg:   opts.Comm,
+			queue: s.queue,
+			quit:  s.quit,
+			stats: &s.stats,
+		}
+		s.groups = append(s.groups, g)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			g.serve()
+		}()
+	}
+	return s
+}
+
+// Ranks returns the per-group rank count (jobs see communicators of this
+// size).
+func (s *Scheduler) Ranks() int { return s.opts.Ranks }
+
+// Groups returns the warm-group count.
+func (s *Scheduler) Groups() int { return s.opts.Groups }
+
+// Submit runs fn on the next available warm group. It rejects with a typed
+// QuotaError or OverloadError without blocking; an admitted job's result
+// arrives through the returned Pending.
+func (s *Scheduler) Submit(tenant string, fn JobFunc) (*Pending, error) {
+	if s.stopped.Load() {
+		return nil, ErrStopped
+	}
+	release, err := s.quotas.acquire(tenant)
+	if err != nil {
+		s.stats.rejectedQuota.Add(1)
+		return nil, err
+	}
+	jb := &job{
+		fn:      fn,
+		tenant:  tenant,
+		errs:    make([]error, s.opts.Ranks),
+		done:    make(chan struct{}),
+		release: release,
+	}
+	select {
+	case s.queue <- jb:
+		s.stats.accepted.Add(1)
+		return &Pending{jb: jb}, nil
+	default:
+		release()
+		s.stats.rejectedQueue.Add(1)
+		return nil, &OverloadError{Depth: s.opts.QueueDepth}
+	}
+}
+
+// Do submits and waits — the synchronous convenience the HTTP handlers use.
+func (s *Scheduler) Do(tenant string, fn JobFunc) (any, error) {
+	p, err := s.Submit(tenant, fn)
+	if err != nil {
+		return nil, err
+	}
+	return p.Wait()
+}
+
+// Stop shuts the pool down: no new admissions, queued-but-unstarted jobs
+// resolve with ErrStopped, in-flight jobs finish, then every group's
+// session tears down.
+func (s *Scheduler) Stop() {
+	if s.stopped.Swap(true) {
+		return
+	}
+	close(s.quit)
+	// Groups stop pulling once quit closes; drain what they left behind.
+	for {
+		select {
+		case jb := <-s.queue:
+			jb.fail(ErrStopped)
+			continue
+		default:
+		}
+		break
+	}
+	s.wg.Wait()
+}
+
+// Stats counts scheduler outcomes with lock-free counters; Snapshot renders
+// them (plus live depths and the fusion plan-cache counters) for /v1/stats.
+type Stats struct {
+	accepted      atomic.Int64
+	completed     atomic.Int64
+	failed        atomic.Int64
+	rejectedQueue atomic.Int64
+	rejectedQuota atomic.Int64
+	groupRestarts atomic.Int64
+}
+
+// StatsSnapshot is the JSON shape of GET /v1/stats.
+type StatsSnapshot struct {
+	Accepted       int64 `json:"accepted"`
+	Completed      int64 `json:"completed"`
+	Failed         int64 `json:"failed"`
+	RejectedQueue  int64 `json:"rejected_queue"`
+	RejectedQuota  int64 `json:"rejected_quota"`
+	GroupRestarts  int64 `json:"group_restarts"`
+	QueueDepth     int   `json:"queue_depth"`
+	Groups         int   `json:"groups"`
+	Ranks          int   `json:"ranks"`
+	PlanCacheHits  int64 `json:"plan_cache_hits"`
+	PlanCacheMiss  int64 `json:"plan_cache_misses"`
+}
+
+// Snapshot reads the counters. The plan-cache columns are process-wide
+// (fusion's compiled-program cache is the cross-request cache the groups
+// share); at steady state hits must dominate misses.
+func (s *Scheduler) Snapshot() StatsSnapshot {
+	hits, misses := fusion.PlanCacheStats()
+	return StatsSnapshot{
+		Accepted:      s.stats.accepted.Load(),
+		Completed:     s.stats.completed.Load(),
+		Failed:        s.stats.failed.Load(),
+		RejectedQueue: s.stats.rejectedQueue.Load(),
+		RejectedQuota: s.stats.rejectedQuota.Load(),
+		GroupRestarts: s.stats.groupRestarts.Load(),
+		QueueDepth:    len(s.queue),
+		Groups:        s.opts.Groups,
+		Ranks:         s.opts.Ranks,
+		PlanCacheHits: hits,
+		PlanCacheMiss: misses,
+	}
+}

@@ -1,0 +1,402 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"odinhpc/internal/comm"
+	"odinhpc/internal/fusion"
+)
+
+// mixedJob returns the i-th job of the standard mixed workload: two solve
+// specs (CG and BiCGSTAB over different generators) and two expression
+// shapes, cycled.
+func mixedJob(i int) (string, JobFunc, func(any) error) {
+	switch i % 4 {
+	case 0:
+		req := &SolveRequest{Kind: "laplace1d", N: 64, Solver: "cg"}
+		if err := req.Validate(); err != nil {
+			panic(err)
+		}
+		return "solve/laplace1d", req.Job(), func(out any) error {
+			res, ok := out.(*SolveResponse)
+			if !ok || !res.Converged || res.XNorm <= 0 {
+				return fmt.Errorf("bad laplace1d result %+v", out)
+			}
+			return nil
+		}
+	case 1:
+		req := &SolveRequest{Kind: "tridiag", N: 96, Solver: "bicgstab"}
+		if err := req.Validate(); err != nil {
+			panic(err)
+		}
+		return "solve/tridiag", req.Job(), func(out any) error {
+			res, ok := out.(*SolveResponse)
+			if !ok || !res.Converged {
+				return fmt.Errorf("bad tridiag result %+v", out)
+			}
+			return nil
+		}
+	case 2:
+		req := &ExprRequest{Expr: "x*y + sqrt(x)", N: 512}
+		if err := req.Validate(); err != nil {
+			panic(err)
+		}
+		want := exprReference(req)
+		return "expr/mul-add-sqrt", req.Job(), func(out any) error {
+			return checkExpr(out, want)
+		}
+	default:
+		req := &ExprRequest{Expr: "hypot(x, y) - 2*x/(y + 3)", N: 256}
+		if err := req.Validate(); err != nil {
+			panic(err)
+		}
+		want := exprReference(req)
+		return "expr/hypot-div", req.Job(), func(out any) error {
+			return checkExpr(out, want)
+		}
+	}
+}
+
+// exprReference sums the scalar evaluator over every global index — the
+// serial answer the fused distributed evaluation must match.
+func exprReference(req *ExprRequest) float64 {
+	var sum float64
+	for g := 0; g < req.N; g++ {
+		sum += req.ast.evalScalar(g)
+	}
+	return sum
+}
+
+func checkExpr(out any, want float64) error {
+	res, ok := out.(*ExprResponse)
+	if !ok {
+		return fmt.Errorf("result is %T, want *ExprResponse", out)
+	}
+	if math.Abs(res.Sum-want) > 1e-9*math.Abs(want) {
+		return fmt.Errorf("sum = %g, want %g", res.Sum, want)
+	}
+	return nil
+}
+
+// TestServeConcurrentMixedJobs is the acceptance scenario: 64 concurrent
+// mixed solve/expression jobs over a pool of warm rank groups, zero
+// failures, every result checked against its reference, and the shared
+// plan cache at steady state showing more hits than misses (compiled
+// programs really are reused across requests).
+func TestServeConcurrentMixedJobs(t *testing.T) {
+	fusion.ResetPlanCache()
+	s := NewScheduler(Options{Groups: 4, Ranks: 2, QueueDepth: 128})
+	defer s.Stop()
+
+	const J = 64
+	errs := make([]error, J)
+	var wg sync.WaitGroup
+	for i := 0; i < J; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name, fn, check := mixedJob(i)
+			out, err := s.Do(fmt.Sprintf("tenant-%d", i%4), fn)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %w", name, err)
+				return
+			}
+			errs[i] = check(out)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("job %d: %v", i, err)
+		}
+	}
+
+	snap := s.Snapshot()
+	if snap.Accepted != J || snap.Completed != J || snap.Failed != 0 {
+		t.Errorf("stats = %+v, want accepted=completed=%d failed=0", snap, J)
+	}
+	hits, misses := fusion.PlanCacheStats()
+	if misses == 0 || hits <= misses {
+		t.Errorf("plan cache hits=%d misses=%d; warm serving needs hits > misses > 0", hits, misses)
+	}
+}
+
+// TestSolveCOOMatchesGenerator pins the posted-matrix path: the same
+// tridiagonal operator sent as COO triplets must solve to the same answer
+// as the galeri-generated one.
+func TestSolveCOOMatchesGenerator(t *testing.T) {
+	s := NewScheduler(Options{Groups: 1, Ranks: 2})
+	defer s.Stop()
+
+	const n = 32
+	gen := &SolveRequest{Kind: "tridiag", N: n}
+	if err := gen.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var entries []COOEntry
+	for i := 0; i < n; i++ {
+		entries = append(entries, COOEntry{Row: i, Col: i, Val: 2.5})
+		if i > 0 {
+			entries = append(entries, COOEntry{Row: i, Col: i - 1, Val: -1})
+		}
+		if i < n-1 {
+			entries = append(entries, COOEntry{Row: i, Col: i + 1, Val: -1})
+		}
+	}
+	coo := &SolveRequest{Kind: "coo", N: n, Entries: entries}
+	if err := coo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := s.Do("t", gen.Job())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Do("t", coo.Job())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := a.(*SolveResponse), b.(*SolveResponse)
+	if !ra.Converged || !rb.Converged {
+		t.Fatalf("not converged: generator %+v coo %+v", ra, rb)
+	}
+	if math.Abs(ra.XNorm-rb.XNorm) > 1e-10*ra.XNorm {
+		t.Errorf("x norms differ: generator %g vs coo %g", ra.XNorm, rb.XNorm)
+	}
+}
+
+// TestOverloadTyped pins admission control: with one single-rank group
+// wedged on a blocker job and the depth-2 queue full, the next submission
+// must reject with *OverloadError immediately (not block), and the queued
+// jobs must still complete once the blocker releases.
+func TestOverloadTyped(t *testing.T) {
+	s := NewScheduler(Options{Groups: 1, Ranks: 1, QueueDepth: 2})
+	defer s.Stop()
+
+	started := make(chan struct{})
+	unblock := make(chan struct{})
+	blocker, err := s.Submit("t", func(c *comm.Comm, st *RankState) (any, error) {
+		close(started)
+		<-unblock
+		return "blocker", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // group is busy; queue is empty
+
+	quick := func(c *comm.Comm, st *RankState) (any, error) { return "ok", nil }
+	var queued []*Pending
+	for i := 0; i < 2; i++ {
+		p, err := s.Submit("t", quick)
+		if err != nil {
+			t.Fatalf("queue slot %d rejected: %v", i, err)
+		}
+		queued = append(queued, p)
+	}
+	_, err = s.Submit("t", quick)
+	over, ok := err.(*OverloadError)
+	if !ok {
+		t.Fatalf("overflow submission returned %v, want *OverloadError", err)
+	}
+	if over.Depth != 2 {
+		t.Errorf("OverloadError.Depth = %d, want 2", over.Depth)
+	}
+
+	close(unblock)
+	if _, err := blocker.Wait(); err != nil {
+		t.Errorf("blocker: %v", err)
+	}
+	for i, p := range queued {
+		if out, err := p.Wait(); err != nil || out != "ok" {
+			t.Errorf("queued job %d: out=%v err=%v", i, out, err)
+		}
+	}
+	if snap := s.Snapshot(); snap.RejectedQueue != 1 {
+		t.Errorf("rejected_queue = %d, want 1", snap.RejectedQueue)
+	}
+}
+
+// TestQuotaInFlight pins the per-tenant concurrency cap, including that one
+// tenant at its cap does not block another.
+func TestQuotaInFlight(t *testing.T) {
+	s := NewScheduler(Options{Groups: 1, Ranks: 1, QueueDepth: 8, Quotas: NewQuotas(1, 0, 0)})
+	defer s.Stop()
+
+	started := make(chan struct{})
+	unblock := make(chan struct{})
+	blocker, err := s.Submit("alice", func(c *comm.Comm, st *RankState) (any, error) {
+		close(started)
+		<-unblock
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	quick := func(c *comm.Comm, st *RankState) (any, error) { return nil, nil }
+	if _, err := s.Submit("alice", quick); err == nil {
+		t.Fatal("alice's second in-flight job admitted over a cap of 1")
+	} else if qe, ok := err.(*QuotaError); !ok || qe.Tenant != "alice" || qe.Reason != "in-flight" {
+		t.Fatalf("rejection = %v, want alice's in-flight QuotaError", err)
+	}
+	p, err := s.Submit("bob", quick)
+	if err != nil {
+		t.Fatalf("bob rejected by alice's quota: %v", err)
+	}
+
+	close(unblock)
+	if _, err := blocker.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// Alice's slot is back after her job resolved.
+	p2, err := s.Submit("alice", quick)
+	if err != nil {
+		t.Fatalf("alice rejected after release: %v", err)
+	}
+	if _, err := p2.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if snap := s.Snapshot(); snap.RejectedQuota != 1 {
+		t.Errorf("rejected_quota = %d, want 1", snap.RejectedQuota)
+	}
+}
+
+// TestQuotaRate pins the token bucket against an injected clock: burst
+// admits, then rejections carry a RetryAfter, then refill admits again.
+func TestQuotaRate(t *testing.T) {
+	q := NewQuotas(0, 2, 2) // 2 jobs/sec, burst 2
+	now := time.Unix(1000, 0)
+	q.SetClock(func() time.Time { return now })
+
+	for i := 0; i < 2; i++ {
+		release, err := q.acquire("t")
+		if err != nil {
+			t.Fatalf("burst admit %d: %v", i, err)
+		}
+		release()
+	}
+	_, err := q.acquire("t")
+	qe, ok := err.(*QuotaError)
+	if !ok || qe.Reason != "rate" {
+		t.Fatalf("empty bucket returned %v, want rate QuotaError", err)
+	}
+	if qe.RetryAfter <= 0 || qe.RetryAfter > time.Second {
+		t.Errorf("RetryAfter = %v, want in (0, 1s] at 2 jobs/sec", qe.RetryAfter)
+	}
+	now = now.Add(600 * time.Millisecond) // refills 1.2 tokens
+	release, err := q.acquire("t")
+	if err != nil {
+		t.Fatalf("post-refill admit: %v", err)
+	}
+	release()
+	release() // idempotent
+}
+
+// TestGroupRecycleAfterPoison pins fail-forward: a job that wrecks its
+// session with a latched fault errors out, the group recycles onto a fresh
+// communicator, and the next job succeeds.
+func TestGroupRecycleAfterPoison(t *testing.T) {
+	s := NewScheduler(Options{Groups: 1, Ranks: 2})
+	defer s.Stop()
+
+	_, err := s.Do("t", func(c *comm.Comm, st *RankState) (any, error) {
+		panic(&comm.FaultError{Kind: comm.FaultPeerFailed, Rank: c.Rank()})
+	})
+	if err == nil {
+		t.Fatal("poisoning job reported no error")
+	}
+
+	req := &SolveRequest{Kind: "laplace1d", N: 32}
+	if err := req.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Do("t", req.Job())
+	if err != nil {
+		t.Fatalf("job after recycle: %v", err)
+	}
+	if res := out.(*SolveResponse); !res.Converged {
+		t.Errorf("post-recycle solve did not converge: %+v", res)
+	}
+	if snap := s.Snapshot(); snap.GroupRestarts != 1 {
+		t.Errorf("group_restarts = %d, want 1", snap.GroupRestarts)
+	}
+}
+
+// TestJobPanicIsError pins per-job isolation: an ordinary panic becomes the
+// job's error and the group keeps serving on the same session.
+func TestJobPanicIsError(t *testing.T) {
+	s := NewScheduler(Options{Groups: 1, Ranks: 2})
+	defer s.Stop()
+
+	_, err := s.Do("t", func(c *comm.Comm, st *RankState) (any, error) {
+		panic("deliberate")
+	})
+	if err == nil {
+		t.Fatal("panicking job reported no error")
+	}
+	out, err := s.Do("t", func(c *comm.Comm, st *RankState) (any, error) { return c.Size(), nil })
+	if err != nil || out != 2 {
+		t.Fatalf("job after panic: out=%v err=%v", out, err)
+	}
+	if snap := s.Snapshot(); snap.GroupRestarts != 0 {
+		t.Errorf("plain panic forced %d group restarts, want 0", snap.GroupRestarts)
+	}
+}
+
+// TestSchedulerStop pins shutdown: submissions after Stop fail typed, and
+// Stop drains still-queued jobs with ErrStopped instead of leaking waiters.
+func TestSchedulerStop(t *testing.T) {
+	s := NewScheduler(Options{Groups: 1, Ranks: 1})
+	s.Stop()
+	if _, err := s.Submit("t", func(c *comm.Comm, st *RankState) (any, error) { return nil, nil }); err != ErrStopped {
+		t.Fatalf("post-Stop Submit returned %v, want ErrStopped", err)
+	}
+	s.Stop() // idempotent
+}
+
+// TestWarmMatrixCacheReuse pins the warm-state contract: two solves of one
+// spec on one group assemble the matrix once (the second run is served from
+// RankState.matrices, reusing its compiled GatherPlan).
+func TestWarmMatrixCacheReuse(t *testing.T) {
+	s := NewScheduler(Options{Groups: 1, Ranks: 2})
+	defer s.Stop()
+
+	probe := func() (built bool, err error) {
+		req := &SolveRequest{Kind: "laplace1d", N: 48}
+		if err := req.Validate(); err != nil {
+			return false, err
+		}
+		out, err := s.Do("t", func(c *comm.Comm, st *RankState) (any, error) {
+			before := len(st.matrices)
+			req.matrix(c, st)
+			return len(st.matrices) != before, nil
+		})
+		if err != nil {
+			return false, err
+		}
+		return out.(bool), nil
+	}
+	built, err := probe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !built {
+		t.Fatal("first solve did not assemble the matrix")
+	}
+	built, err = probe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if built {
+		t.Fatal("second solve of the same spec rebuilt the matrix instead of reusing it")
+	}
+}
