@@ -40,9 +40,10 @@ go test ./...
 # Race pass over every concurrency-bearing package: the comm fabric, the
 # rank/context layer, the exec pool, the fusion VM (whose block sweep shares
 # compiled programs across pool workers and must stay bitwise identical to
-# the reference evaluators), the tpetra distributed kernels, and the trace
-# ring (all ranks emit into a shared session).
-go test -race ./internal/comm ./internal/core ./internal/exec ./internal/fusion ./internal/tpetra ./internal/trace
+# the reference evaluators), the tpetra distributed kernels, the trace
+# ring (all ranks emit into a shared session), and the serve scheduler
+# (concurrent jobs on warm rank groups sharing plans and the fusion cache).
+go test -race ./internal/comm ./internal/core ./internal/exec ./internal/fusion ./internal/tpetra ./internal/trace ./internal/serve
 
 # Chaos conformance: replay collectives and distributed kernels under seeded
 # fault plans, twice, under the race detector — results must be bitwise
@@ -66,6 +67,25 @@ ODINHPC_TRANSPORT=tcp go test -race ./internal/comm ./internal/comm/launch
 # rank, wired by the comm/launch rendezvous over tcp.
 go build -o /tmp/odinhpc-odinrun ./cmd/odinrun
 /tmp/odinhpc-odinrun -transport=tcp -np=4 -n 512 cg
+
+# Serve smoke: start odinserve on a free port, fire 64 mixed solve/expr
+# jobs from 16 concurrent clients through the loadgen, and require zero
+# failed jobs, p99 under 2s, and a warm plan cache (hits > misses) — the
+# service's acceptance gate, end to end over real HTTP.
+go build -o /tmp/odinhpc-odinserve ./cmd/odinserve
+rm -f /tmp/odinhpc-odinserve.addr
+/tmp/odinhpc-odinserve -addr 127.0.0.1:0 -addr-file /tmp/odinhpc-odinserve.addr -groups 4 -ranks 2 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -s /tmp/odinhpc-odinserve.addr ] && break
+  sleep 0.1
+done
+SERVE_OK=0
+/tmp/odinhpc-odinserve -loadgen -url "http://$(cat /tmp/odinhpc-odinserve.addr)" \
+  -jobs 64 -conc 16 -mix mixed -max-p99 2s -require-warm-cache || SERVE_OK=1
+kill "$SERVE_PID"
+wait "$SERVE_PID" || true
+[ "$SERVE_OK" = "0" ]
 
 # Opt-in stress tier (ODINHPC_STRESS=1): the odinstress smoke grid — the
 # conformance corpus across GOMAXPROCS × pool × ranks × transport × fault
@@ -106,3 +126,4 @@ bench_gate . ExecScaling 0.3s BENCH_exec.json
 bench_gate . FusionVM 0.3s BENCH_fusion.json
 bench_gate . SpmvFormats 0.3s BENCH_spmv.json
 bench_gate ./internal/comm CommTransport 0.2s BENCH_comm.json
+bench_gate ./internal/serve Serve 0.3s BENCH_serve.json
