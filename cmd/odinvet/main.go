@@ -1,13 +1,15 @@
 // Command odinvet is the multichecker for the framework's domain
-// invariants: the six analyzers under internal/analysis (commsym,
-// collorder, tagcheck, hotalloc, tracepair, planreuse) run over the tree
-// and fail the build on any finding. See DESIGN.md "Static analysis" for
-// the invariant behind each analyzer and the escape hatch.
+// invariants: the seven analyzers under internal/analysis (commsym,
+// collorder, p2pmatch, tagcheck, hotalloc, tracepair, planreuse) run over
+// the tree and fail the build on any finding. See DESIGN.md "Static
+// analysis" for the invariant behind each analyzer and the escape hatch.
 //
 // Standalone usage (no install step, used by scripts/verify.sh and CI):
 //
 //	go run ./cmd/odinvet ./...
 //	odinvet [-tests=false] [-checks=commsym,tagcheck] ./internal/comm ./...
+//	odinvet -json ./...    # NDJSON diagnostics, suppressed findings included
+//	odinvet -allows ./...  # list every //lint:allow with its justification
 //
 // Or as a `go vet` tool, which reuses the build cache's export data:
 //
@@ -16,12 +18,15 @@
 // Findings print as file:line:col: analyzer: message. A deliberate
 // exception is annotated at the finding site:
 //
-//	//lint:allow hotalloc per-chunk scratch, amortized over the chunk
+//	//lint:allow hotalloc Per-chunk scratch, amortized over the chunk
 //
-// on the flagged line or the line directly above it.
+// on the flagged line or the line directly above it. The justification
+// must start with a capitalized word: lowercase leading words parse as
+// additional analyzer names.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +37,7 @@ import (
 	"odinhpc/internal/analysis/collorder"
 	"odinhpc/internal/analysis/commsym"
 	"odinhpc/internal/analysis/hotalloc"
+	"odinhpc/internal/analysis/p2pmatch"
 	"odinhpc/internal/analysis/planreuse"
 	"odinhpc/internal/analysis/tagcheck"
 	"odinhpc/internal/analysis/tagregistry"
@@ -42,6 +48,7 @@ import (
 var all = []*analysis.Analyzer{
 	commsym.Analyzer,
 	collorder.Analyzer,
+	p2pmatch.Analyzer,
 	tagcheck.Analyzer,
 	hotalloc.Analyzer,
 	tracepair.Analyzer,
@@ -72,6 +79,8 @@ func main() {
 	fs := flag.NewFlagSet("odinvet", flag.ExitOnError)
 	tests := fs.Bool("tests", true, "also analyze _test.go files and external test packages")
 	checks := fs.String("checks", "", "comma-separated analyzer subset (default: all)")
+	jsonOut := fs.Bool("json", false, "emit NDJSON diagnostics (file/line/col/analyzer/message/suppressed), including suppressed findings")
+	allows := fs.Bool("allows", false, "list every //lint:allow directive with its justification instead of running analyzers")
 	fs.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: odinvet [flags] [packages]\n\nAnalyzers:\n")
 		for _, a := range all {
@@ -105,6 +114,7 @@ func main() {
 
 	loader := analysis.NewLoader(modPath, modRoot, "", *tests)
 	exit := 0
+	enc := json.NewEncoder(os.Stdout)
 	for _, dir := range dirs {
 		pkgs, err := loader.LoadDir(dir)
 		if err != nil {
@@ -112,18 +122,57 @@ func main() {
 			exit = 2
 			continue
 		}
-		diags, err := analysis.Run(analyzers, pkgs)
+		if *allows {
+			for _, pkg := range pkgs {
+				for _, ad := range analysis.Directives(pkg) {
+					just := ad.Justification
+					if just == "" {
+						just = "(no justification)"
+					}
+					fmt.Printf("%s:%d: %s: %s\n", ad.Position.Filename, ad.Position.Line,
+						strings.Join(ad.Analyzers, ","), just)
+				}
+			}
+			continue
+		}
+		diags, err := analysis.RunAll(analyzers, pkgs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "odinvet: %s: %v\n", dir, err)
 			exit = 2
 			continue
 		}
 		for _, d := range diags {
-			fmt.Println(d)
-			exit = 1
+			switch {
+			case *jsonOut:
+				enc.Encode(jsonDiag{
+					File:       d.Position.Filename,
+					Line:       d.Position.Line,
+					Col:        d.Position.Column,
+					Analyzer:   d.Analyzer,
+					Message:    d.Message,
+					Suppressed: d.Suppressed,
+				})
+			case d.Suppressed:
+				continue
+			default:
+				fmt.Println(d)
+			}
+			if !d.Suppressed {
+				exit = 1
+			}
 		}
 	}
 	os.Exit(exit)
+}
+
+// jsonDiag is the -json wire shape, one object per line (NDJSON).
+type jsonDiag struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
 }
 
 // installRegistry wires the source-of-truth tag reservations into tagcheck.

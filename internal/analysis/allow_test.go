@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"testing"
+)
+
+// TestParseAllow pins the directive grammar: every leading field made of
+// lowercase letters and digits (starting with a letter) is an analyzer
+// name, and everything after the first field that breaks that shape is the
+// justification. The practical consequence — justifications must start
+// with a capitalized word — is what odinvet's doc comment promises.
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text  string
+		names []string
+		just  string
+		ok    bool
+	}{
+		{"//lint:allow hotalloc", []string{"hotalloc"}, "", true},
+		{"//lint:allow hotalloc Per-chunk scratch", []string{"hotalloc"}, "Per-chunk scratch", true},
+		{"//lint:allow commsym collorder Intentional permuted order", []string{"commsym", "collorder"}, "Intentional permuted order", true},
+		// Digits are legal inside a name: p2pmatch must parse as one name,
+		// not be rejected or split.
+		{"//lint:allow p2pmatch Vetted by hand", []string{"p2pmatch"}, "Vetted by hand", true},
+		// The wildcard suppresses everything and may carry a justification.
+		{"//lint:allow * Fault-injection hook", []string{"*"}, "Fault-injection hook", true},
+		// A lowercase justification is absorbed into the name list — the
+		// trap the capitalization rule exists to avoid. The directive still
+		// parses (suppression works; the extra "names" match nothing), but
+		// the recorded justification is empty.
+		{"//lint:allow hotalloc failure path only", []string{"hotalloc", "failure", "path", "only"}, "", true},
+		// A name cannot start with a digit.
+		{"//lint:allow 2fast Justification", nil, "", false},
+		// No names at all: not a directive.
+		{"//lint:allow", nil, "", false},
+		{"//lint:allow Capitalized only", nil, "", false},
+		// Unrelated comments.
+		{"// lint:allow hotalloc", nil, "", false},
+		{"//nolint:hotalloc", nil, "", false},
+	}
+	for _, c := range cases {
+		names, just, ok := parseAllow(c.text)
+		if ok != c.ok || just != c.just || !reflect.DeepEqual(names, c.names) {
+			t.Errorf("parseAllow(%q) = %v, %q, %v; want %v, %q, %v",
+				c.text, names, just, ok, c.names, c.just, c.ok)
+		}
+	}
+}
+
+// TestDirectives checks source-order listing and justification capture on
+// a synthetic file; Directives needs only Fset and Files, so the package
+// is built by hand.
+func TestDirectives(t *testing.T) {
+	const src = `package p
+
+//lint:allow hotalloc Scratch buffer, amortized
+var a int
+
+func f() {
+	_ = a //lint:allow commsym tagcheck Both are fine here
+	//lint:allow p2pmatch
+}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Directives(&Package{Fset: fset, Files: []*ast.File{file}})
+	want := []struct {
+		line  int
+		names []string
+		just  string
+	}{
+		{3, []string{"hotalloc"}, "Scratch buffer, amortized"},
+		{7, []string{"commsym", "tagcheck"}, "Both are fine here"},
+		{8, []string{"p2pmatch"}, ""},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d directives, want %d: %v", len(got), len(want), got)
+	}
+	for i, w := range want {
+		d := got[i]
+		if d.Position.Line != w.line || d.Justification != w.just || !reflect.DeepEqual(d.Analyzers, w.names) {
+			t.Errorf("directive %d = line %d %v %q; want line %d %v %q",
+				i, d.Position.Line, d.Analyzers, d.Justification, w.line, w.names, w.just)
+		}
+	}
+}

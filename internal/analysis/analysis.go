@@ -54,12 +54,15 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Diagnostic is one finding of one analyzer.
+// Diagnostic is one finding of one analyzer. Suppressed marks findings
+// covered by a //lint:allow directive; Run filters them out, RunAll keeps
+// them for machine consumers.
 type Diagnostic struct {
-	Analyzer string
-	Pos      token.Pos
-	Position token.Position
-	Message  string
+	Analyzer   string
+	Pos        token.Pos
+	Position   token.Position
+	Message    string
+	Suppressed bool
 }
 
 func (d Diagnostic) String() string {
@@ -70,10 +73,28 @@ func (d Diagnostic) String() string {
 // diagnostics sorted by position, with findings suppressed by a
 // `//lint:allow <analyzer>` directive (same line or the line above the
 // finding) filtered out. A directive may carry a trailing justification:
-// `//lint:allow hotalloc per-chunk scratch, amortized`.
+// `//lint:allow hotalloc Per-chunk scratch, amortized`.
 func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	diags, err := RunAll(analyzers, pkgs)
+	if err != nil {
+		return nil, err
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// RunAll is Run without the suppression filter: findings covered by a
+// lint:allow directive are returned with Suppressed set instead of
+// dropped, so machine consumers (odinvet -json) can surface them.
+func RunAll(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
+		start := len(diags)
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer: a,
@@ -87,7 +108,7 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 			}
 		}
-		diags = suppress(diags, pkg)
+		markSuppressed(diags[start:], pkg)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Position, diags[j].Position
@@ -105,18 +126,53 @@ func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
 	return diags, nil
 }
 
-// suppress drops diagnostics covered by lint:allow directives in pkg's files.
-func suppress(diags []Diagnostic, pkg *Package) []Diagnostic {
+// markSuppressed flags diagnostics covered by lint:allow directives in
+// pkg's files.
+func markSuppressed(diags []Diagnostic, pkg *Package) {
 	allowed := allowLines(pkg) // filename -> line -> analyzer set
-	out := diags[:0]
-	for _, d := range diags {
+	for i, d := range diags {
 		if set, ok := allowed[d.Position.Filename]; ok {
 			if names, ok := set[d.Position.Line]; ok && (names["*"] || names[d.Analyzer]) {
-				continue
+				diags[i].Suppressed = true
 			}
 		}
-		out = append(out, d)
 	}
+}
+
+// AllowDirective is one //lint:allow occurrence in a package's sources.
+type AllowDirective struct {
+	Position      token.Position
+	Analyzers     []string // suppressed analyzer names, or ["*"]
+	Justification string   // free-form text after the names; may be empty
+}
+
+// Directives lists every lint:allow directive in pkg, in source order.
+// odinvet's -allows mode prints them so every standing exception and its
+// justification stays auditable.
+func Directives(pkg *Package) []AllowDirective {
+	var out []AllowDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, just, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				out = append(out, AllowDirective{
+					Position:      pkg.Fset.Position(c.Slash),
+					Analyzers:     names,
+					Justification: just,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Position, out[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
 	return out
 }
 
@@ -128,7 +184,7 @@ func allowLines(pkg *Package) map[string]map[int]map[string]bool {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				names, ok := parseAllow(c.Text)
+				names, _, ok := parseAllow(c.Text)
 				if !ok {
 					continue
 				}
@@ -154,16 +210,18 @@ func allowLines(pkg *Package) map[string]map[int]map[string]bool {
 
 // parseAllow recognizes `//lint:allow name [name...] [justification]`.
 // Every leading field that looks like an analyzer name (lowercase ASCII
-// letters) is a suppressed analyzer; the rest is free-form justification.
-// `//lint:allow *` suppresses every analyzer on the covered lines.
-func parseAllow(text string) ([]string, bool) {
+// letters and digits, starting with a letter — "p2pmatch" qualifies) is a
+// suppressed analyzer; the rest is free-form justification, which is why
+// justifications must start with a capitalized word. `//lint:allow *`
+// suppresses every analyzer on the covered lines.
+func parseAllow(text string) (names []string, justification string, ok bool) {
 	const prefix = "//lint:allow"
 	if !strings.HasPrefix(text, prefix) {
-		return nil, false
+		return nil, "", false
 	}
 	rest := strings.TrimSpace(text[len(prefix):])
-	var names []string
-	for _, f := range strings.Fields(rest) {
+	fields := strings.Fields(rest)
+	for _, f := range fields {
 		if f == "*" || isAnalyzerName(f) {
 			names = append(names, f)
 			continue
@@ -171,17 +229,17 @@ func parseAllow(text string) ([]string, bool) {
 		break
 	}
 	if len(names) == 0 {
-		return nil, false
+		return nil, "", false
 	}
-	return names, true
+	return names, strings.Join(fields[len(names):], " "), true
 }
 
 func isAnalyzerName(s string) bool {
-	if s == "" {
+	if s == "" || s[0] < 'a' || s[0] > 'z' {
 		return false
 	}
 	for _, r := range s {
-		if r < 'a' || r > 'z' {
+		if (r < 'a' || r > 'z') && (r < '0' || r > '9') {
 			return false
 		}
 	}

@@ -75,10 +75,7 @@ func exemptSubcomms(pass *analysis.Pass, decl *ast.FuncDecl, tainted map[types.O
 			return analysis.IsMethodOn(analysis.Callee(pass.Info, e), "comm", "Comm", "Split") &&
 				len(e.Args) > 0 && commsym.RankDerived(pass, tainted, e.Args[0])
 		case *ast.Ident:
-			obj := pass.Info.Uses[e]
-			if obj == nil {
-				obj = pass.Info.Defs[e]
-			}
+			obj := analysis.IdentObj(pass.Info, e)
 			return obj != nil && exempt[obj]
 		}
 		return false
@@ -95,10 +92,7 @@ func exemptSubcomms(pass *analysis.Pass, decl *ast.FuncDecl, tainted map[types.O
 					continue
 				}
 				if id, ok := lhs.(*ast.Ident); ok {
-					obj := pass.Info.Defs[id]
-					if obj == nil {
-						obj = pass.Info.Uses[id]
-					}
+					obj := analysis.IdentObj(pass.Info, id)
 					if obj != nil && !exempt[obj] {
 						exempt[obj] = true
 						changed = true
@@ -235,24 +229,7 @@ func (c *checker) sequence(arm ast.Node) []collCall {
 // commObject resolves the communicator a collective call operates on: the
 // receiver for methods, the first argument for package-level collectives.
 func (c *checker) commObject(call *ast.CallExpr) types.Object {
-	var commExpr ast.Expr
-	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
-		if s, isSel := c.pass.Info.Selections[sel]; isSel && s.Kind() == types.MethodVal {
-			commExpr = sel.X
-		}
-	}
-	if commExpr == nil && len(call.Args) > 0 {
-		commExpr = call.Args[0]
-	}
-	id, ok := ast.Unparen(commExpr).(*ast.Ident)
-	if !ok {
-		return nil
-	}
-	obj := c.pass.Info.Uses[id]
-	if obj == nil {
-		obj = c.pass.Info.Defs[id]
-	}
-	return obj
+	return analysis.CommValueObject(c.pass.Info, call)
 }
 
 // comparePair reports when two arms hold the same collectives in different

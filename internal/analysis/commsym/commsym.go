@@ -43,7 +43,7 @@ func run(pass *analysis.Pass) error {
 			w := &walker{
 				pass:     pass,
 				tainted:  TaintedObjects(pass, decl),
-				subcomms: subcommObjects(pass, decl),
+				subcomms: SplitObjects(pass, decl),
 			}
 			w.stmts(decl.Body.List, 0)
 		})
@@ -51,27 +51,26 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// subcommObjects computes the set of local objects holding communicators
-// obtained from (*Comm).Split — directly or via ident copies. Collectives on
-// these are exempt from rank-guard checks (see the package comment).
-func subcommObjects(pass *analysis.Pass, decl *ast.FuncDecl) map[types.Object]bool {
+// SplitObjects computes the set of local objects within scope holding
+// communicators obtained from (*Comm).Split — directly or via ident copies.
+// commsym exempts collectives on these from rank-guard checks (see the
+// package comment); p2pmatch declines to certify point-to-point traffic on
+// them (sub-communicator ranks are renumbered).
+func SplitObjects(pass *analysis.Pass, scope ast.Node) map[types.Object]bool {
 	subs := map[types.Object]bool{}
 	fromSplit := func(e ast.Expr) bool {
 		switch e := ast.Unparen(e).(type) {
 		case *ast.CallExpr:
 			return analysis.IsMethodOn(analysis.Callee(pass.Info, e), "comm", "Comm", "Split")
 		case *ast.Ident:
-			obj := pass.Info.Uses[e]
-			if obj == nil {
-				obj = pass.Info.Defs[e]
-			}
+			obj := analysis.IdentObj(pass.Info, e)
 			return obj != nil && subs[obj]
 		}
 		return false
 	}
 	for i := 0; i < 8; i++ {
 		changed := false
-		ast.Inspect(decl, func(n ast.Node) bool {
+		ast.Inspect(scope, func(n ast.Node) bool {
 			s, ok := n.(*ast.AssignStmt)
 			if !ok || len(s.Lhs) != len(s.Rhs) {
 				return true
@@ -81,10 +80,7 @@ func subcommObjects(pass *analysis.Pass, decl *ast.FuncDecl) map[types.Object]bo
 					continue
 				}
 				if id, ok := lhs.(*ast.Ident); ok {
-					obj := pass.Info.Defs[id]
-					if obj == nil {
-						obj = pass.Info.Uses[id]
-					}
+					obj := analysis.IdentObj(pass.Info, id)
 					if obj != nil && !subs[obj] {
 						subs[obj] = true
 						changed = true
@@ -101,19 +97,20 @@ func subcommObjects(pass *analysis.Pass, decl *ast.FuncDecl) map[types.Object]bo
 }
 
 // TaintedObjects computes the set of local objects carrying rank-derived
-// values within decl: anything assigned from an expression whose value
-// derives from comm.Rank() (or the rank field inside package comm) through
-// operators, conversions, and ident copies. Taint deliberately does not
-// flow through ordinary function calls — c.Split(c.Rank()%2, 0) consumes a
-// rank but returns a communicator, not a rank value.
-func TaintedObjects(pass *analysis.Pass, decl *ast.FuncDecl) map[types.Object]bool {
+// values within scope (a function declaration or function literal):
+// anything assigned from an expression whose value derives from comm.Rank()
+// (or the rank field inside package comm) through operators, conversions,
+// and ident copies. Taint deliberately does not flow through ordinary
+// function calls — c.Split(c.Rank()%2, 0) consumes a rank but returns a
+// communicator, not a rank value.
+func TaintedObjects(pass *analysis.Pass, scope ast.Node) map[types.Object]bool {
 	tainted := map[types.Object]bool{}
 	// Iterate to a fixpoint so chains like r := c.Rank(); isRoot := r == 0
 	// resolve regardless of declaration order quirks. The nesting depth of
 	// real code bounds the iteration count; cap it for safety.
 	for i := 0; i < 8; i++ {
 		changed := false
-		ast.Inspect(decl, func(n ast.Node) bool {
+		ast.Inspect(scope, func(n ast.Node) bool {
 			switch s := n.(type) {
 			case *ast.AssignStmt:
 				for i, lhs := range s.Lhs {
@@ -433,22 +430,6 @@ func (w *walker) checkNode(n ast.Node, depth int) {
 // obtained from Split: the receiver for methods, the first argument for
 // package-level collectives.
 func (w *walker) onSubcomm(call *ast.CallExpr) bool {
-	var commExpr ast.Expr
-	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
-		if s, isSel := w.pass.Info.Selections[sel]; isSel && s.Kind() == types.MethodVal {
-			commExpr = sel.X
-		}
-	}
-	if commExpr == nil && len(call.Args) > 0 {
-		commExpr = call.Args[0]
-	}
-	id, ok := ast.Unparen(commExpr).(*ast.Ident)
-	if !ok {
-		return false
-	}
-	obj := w.pass.Info.Uses[id]
-	if obj == nil {
-		obj = w.pass.Info.Defs[id]
-	}
+	obj := analysis.CommValueObject(w.pass.Info, call)
 	return obj != nil && w.subcomms[obj]
 }

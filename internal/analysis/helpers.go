@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/constant"
 	"go/types"
 	"strings"
 )
@@ -114,6 +115,57 @@ func TypeIs(t types.Type, pkgName, typeName string) bool {
 func IsMethodOn(fn *types.Func, pkgName, typeName, methodName string) bool {
 	return fn != nil && fn.Name() == methodName && ObjPkgIs(fn, pkgName) &&
 		RecvTypeName(fn) == typeName
+}
+
+// IdentObj resolves the object an identifier denotes, checking Uses first
+// and falling back to Defs (short variable declarations define on first
+// mention). Returns nil for unresolved identifiers.
+func IdentObj(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// IntConstVal returns the compile-time integer value of e, when the
+// typechecker folded one: literals, named constants, and constant
+// arithmetic all qualify. Reports false for run-time expressions.
+func IntConstVal(info *types.Info, e ast.Expr) (int64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v := constant.ToInt(tv.Value)
+	if v.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(v)
+}
+
+// CommValueExpr returns the expression denoting the communicator a comm
+// operation call runs on: the receiver for methods ((*Comm).Barrier,
+// (*Comm).Send, ...), the first argument for package-level operations
+// (Bcast, Gather, ...). Returns nil when neither form applies.
+func CommValueExpr(info *types.Info, call *ast.CallExpr) ast.Expr {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, isSel := info.Selections[sel]; isSel && s.Kind() == types.MethodVal {
+			return sel.X
+		}
+	}
+	if len(call.Args) > 0 {
+		return call.Args[0]
+	}
+	return nil
+}
+
+// CommValueObject resolves CommValueExpr to a local object when the
+// communicator expression is a simple identifier, or nil.
+func CommValueObject(info *types.Info, call *ast.CallExpr) types.Object {
+	id, ok := ast.Unparen(CommValueExpr(info, call)).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return IdentObj(info, id)
 }
 
 // FuncScopes walks the top-level function declarations of file, calling fn

@@ -1,0 +1,367 @@
+package p2pmatch
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// This file model-checks the per-rank event traces the interpreter
+// extracted. The exploration is exact for comm's semantics (see the
+// package comment): sends are eager, so the checker advances every rank
+// through its sends ("closure"), synchronizes collectives as full
+// barriers, and branches only on which pending message each blocked
+// receive consumes. comm delivers per-channel in order and Recv takes the
+// first arrival matching (src, tag), so for each source the oldest
+// unconsumed tag-matching send is the unique candidate from that source —
+// a tag-selective receive skips older non-matching messages, which stay
+// queued. The state space over (program counters, consumed set) is a DAG;
+// memoized DFS visits each state once.
+
+// witness is one deadlock finding, already classified and formatted.
+type witness struct {
+	pos token.Pos
+	msg string
+}
+
+// lostMsg is a send no schedule ever receives, in a protocol that
+// otherwise always completes.
+type lostMsg struct {
+	ev   event
+	rank int64
+}
+
+// matchResult is the outcome of exploring one (P, scenario).
+type matchResult struct {
+	dead     *witness
+	lost     []lostMsg
+	overflow bool
+}
+
+// sendRef locates one send event globally.
+type sendRef struct {
+	rank int   // sender
+	idx  int   // index in the sender's trace
+	gid  int   // global send id (bit position in the consumed set)
+	tag  int64 // send tag
+}
+
+type matcher struct {
+	evs    [][]event
+	p      int
+	sends  [][]sendRef // sends[src*p+dst]: channel src->dst in send order
+	refs   []sendRef   // refs[gid]
+	nSends int
+	words  int // consumed-bitset length in uint64 words
+	memo   map[string]*nodeResult
+	states int
+}
+
+// nodeResult memoizes the exploration outcome from one state: the first
+// deadlock witness (if any), and otherwise the intersection of unconsumed
+// send sets over all reachable terminal states.
+type nodeResult struct {
+	dead *witness
+	lost []uint64
+}
+
+// explore model-checks the traces for size p.
+func explore(evs [][]event, p int64) matchResult {
+	m := &matcher{
+		evs:  evs,
+		p:    int(p),
+		memo: map[string]*nodeResult{},
+	}
+	m.index()
+	pcs := make([]int, m.p)
+	consumed := make([]uint64, m.words)
+	res := m.explore(pcs, consumed)
+	out := matchResult{overflow: m.states > maxMatchStates}
+	if out.overflow {
+		return out
+	}
+	if res.dead != nil {
+		out.dead = res.dead
+		return out
+	}
+	for gid := 0; gid < m.nSends; gid++ {
+		if res.lost[gid/64]&(1<<(gid%64)) != 0 {
+			ref := m.refs[gid]
+			out.lost = append(out.lost, lostMsg{ev: m.evs[ref.rank][ref.idx], rank: int64(ref.rank)})
+		}
+	}
+	return out
+}
+
+func (m *matcher) index() {
+	m.sends = make([][]sendRef, m.p*m.p)
+	for r := 0; r < m.p; r++ {
+		for i, ev := range m.evs[r] {
+			if ev.kind != evSend {
+				continue
+			}
+			ref := sendRef{rank: r, idx: i, gid: len(m.refs), tag: ev.tag}
+			m.refs = append(m.refs, ref)
+			ch := r*m.p + int(ev.peer)
+			m.sends[ch] = append(m.sends[ch], ref)
+		}
+	}
+	m.nSends = len(m.refs)
+	m.words = (m.nSends + 63) / 64
+	if m.words == 0 {
+		m.words = 1
+	}
+}
+
+// closure advances every rank through its sends and through fully-arrived
+// barriers. Mutates pcs in place.
+func (m *matcher) closure(pcs []int) {
+	for {
+		progress := false
+		for r := 0; r < m.p; r++ {
+			for pcs[r] < len(m.evs[r]) && m.evs[r][pcs[r]].kind == evSend {
+				pcs[r]++
+				progress = true
+			}
+		}
+		allBarrier := true
+		for r := 0; r < m.p; r++ {
+			if pcs[r] >= len(m.evs[r]) || m.evs[r][pcs[r]].kind != evBarrier {
+				allBarrier = false
+				break
+			}
+		}
+		if allBarrier {
+			for r := 0; r < m.p; r++ {
+				pcs[r]++
+			}
+			progress = true
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+func (m *matcher) isConsumed(consumed []uint64, gid int) bool {
+	return consumed[gid/64]&(1<<(gid%64)) != 0
+}
+
+// candidates returns, for the receive blocked at rank d, the consumable
+// send per eligible source: the oldest executed, unconsumed, tag-matching
+// send on each src->d channel.
+func (m *matcher) candidates(d int, pcs []int, consumed []uint64) []sendRef {
+	ev := m.evs[d][pcs[d]]
+	var out []sendRef
+	for s := 0; s < m.p; s++ {
+		if ev.peer >= 0 && s != int(ev.peer) {
+			continue
+		}
+		for _, ref := range m.sends[s*m.p+d] {
+			if ref.idx >= pcs[s] {
+				break // not executed yet; later sends cannot overtake
+			}
+			if m.isConsumed(consumed, ref.gid) {
+				continue
+			}
+			if ev.tag == -1 || ev.tag == ref.tag {
+				out = append(out, ref)
+				break // oldest matching per source is the unique candidate
+			}
+			// Older non-matching message stays queued; keep scanning.
+		}
+	}
+	return out
+}
+
+func (m *matcher) key(pcs []int, consumed []uint64) string {
+	var b strings.Builder
+	b.Grow(len(pcs)*3 + len(consumed)*17)
+	for _, pc := range pcs {
+		fmt.Fprintf(&b, "%d,", pc)
+	}
+	for _, w := range consumed {
+		fmt.Fprintf(&b, "%x,", w)
+	}
+	return b.String()
+}
+
+func (m *matcher) explore(pcs []int, consumed []uint64) *nodeResult {
+	m.closure(pcs)
+	key := m.key(pcs, consumed)
+	if res, ok := m.memo[key]; ok {
+		return res
+	}
+	m.states++
+	if m.states > maxMatchStates {
+		return &nodeResult{lost: make([]uint64, m.words)}
+	}
+	res := &nodeResult{}
+	m.memo[key] = res
+	allDone := true
+	for r := 0; r < m.p; r++ {
+		if pcs[r] < len(m.evs[r]) {
+			allDone = false
+			break
+		}
+	}
+	if allDone {
+		res.lost = make([]uint64, m.words)
+		for gid := 0; gid < m.nSends; gid++ {
+			if !m.isConsumed(consumed, gid) {
+				res.lost[gid/64] |= 1 << (gid % 64)
+			}
+		}
+		return res
+	}
+	moved := false
+	for d := 0; d < m.p; d++ {
+		if pcs[d] >= len(m.evs[d]) || m.evs[d][pcs[d]].kind != evRecv {
+			continue
+		}
+		for _, ref := range m.candidates(d, pcs, consumed) {
+			moved = true
+			npcs := append([]int(nil), pcs...)
+			ncons := append([]uint64(nil), consumed...)
+			npcs[d]++
+			ncons[ref.gid/64] |= 1 << (ref.gid % 64)
+			child := m.explore(npcs, ncons)
+			if child.dead != nil {
+				res.dead = child.dead
+				return res
+			}
+			if res.lost == nil {
+				res.lost = append([]uint64(nil), child.lost...)
+			} else {
+				for i := range res.lost {
+					res.lost[i] &= child.lost[i]
+				}
+			}
+		}
+	}
+	if !moved {
+		res.dead = m.witness(pcs, consumed)
+	}
+	return res
+}
+
+// witness classifies a stuck state into a diagnostic.
+func (m *matcher) witness(pcs []int, consumed []uint64) *witness {
+	// First blocked rank anchors the report.
+	first := -1
+	for r := 0; r < m.p; r++ {
+		if pcs[r] < len(m.evs[r]) {
+			first = r
+			break
+		}
+	}
+	if first < 0 {
+		return nil // unreachable: witness is only built for stuck states
+	}
+	ev := m.evs[first][pcs[first]]
+	if ev.kind == evBarrier {
+		// Collective divergence: a peer left the protocol (or blocked in a
+		// receive) while this rank waits at a collective.
+		other := -1
+		for r := 0; r < m.p; r++ {
+			if pcs[r] >= len(m.evs[r]) || m.evs[r][pcs[r]].kind != evBarrier {
+				other = r
+				break
+			}
+		}
+		desc := "has already left the protocol"
+		if other >= 0 && pcs[other] < len(m.evs[other]) {
+			desc = fmt.Sprintf("is blocked at %s", m.evs[other][pcs[other]].op)
+		}
+		return &witness{pos: ev.pos, msg: fmt.Sprintf(
+			"point-to-point deadlock at P=%d: rank %d waits at %s while rank %d %s (collective/point-to-point divergence)",
+			m.p, first, ev.op, other, desc)}
+	}
+	// Receive-blocked. Count matching sends over the whole protocol, and
+	// how many are still unconsumed.
+	total, unconsumed := 0, 0
+	for s := 0; s < m.p; s++ {
+		if ev.peer >= 0 && s != int(ev.peer) {
+			continue
+		}
+		for _, ref := range m.sends[s*m.p+first] {
+			if ev.tag != -1 && ev.tag != ref.tag {
+				continue
+			}
+			total++
+			if !m.isConsumed(consumed, ref.gid) {
+				unconsumed++
+			}
+		}
+	}
+	srcStr := "any source"
+	if ev.peer >= 0 {
+		srcStr = fmt.Sprintf("rank %d", ev.peer)
+	}
+	tagStr := "any tag"
+	if ev.tag != -1 {
+		tagStr = fmt.Sprintf("tag %d", ev.tag)
+	}
+	switch {
+	case total == 0:
+		return &witness{pos: ev.pos, msg: fmt.Sprintf(
+			"point-to-point deadlock at P=%d: rank %d blocks in %s from %s with %s that no Send in the protocol ever matches (unmatched receive)",
+			m.p, first, ev.op, srcStr, tagStr)}
+	case unconsumed == 0:
+		return &witness{pos: ev.pos, msg: fmt.Sprintf(
+			"point-to-point deadlock at P=%d: rank %d blocks in %s from %s with %s after other receives consumed all %d matching Sends (send/receive count mismatch)",
+			m.p, first, ev.op, srcStr, tagStr, total)}
+	}
+	// Matching sends exist but sit behind blocked program counters: a
+	// rendezvous cycle. Report the waits-for chain.
+	return &witness{pos: ev.pos, msg: fmt.Sprintf(
+		"point-to-point deadlock at P=%d: rendezvous cycle (%s); every rank on the cycle waits to receive before issuing the Send its successor needs",
+		m.p, m.cycle(first, pcs, consumed))}
+}
+
+// cycle renders the waits-for chain starting at rank d: a blocked receiver
+// waits for the first rank whose un-executed trace suffix holds a matching
+// send; a barrier-blocked rank waits for the first rank not at the barrier.
+func (m *matcher) cycle(d int, pcs []int, consumed []uint64) string {
+	waitsFor := func(r int) int {
+		if pcs[r] >= len(m.evs[r]) {
+			return -1
+		}
+		ev := m.evs[r][pcs[r]]
+		if ev.kind == evBarrier {
+			for o := 0; o < m.p; o++ {
+				if pcs[o] >= len(m.evs[o]) || m.evs[o][pcs[o]].kind != evBarrier {
+					return o
+				}
+			}
+			return -1
+		}
+		for s := 0; s < m.p; s++ {
+			if ev.peer >= 0 && s != int(ev.peer) {
+				continue
+			}
+			for _, ref := range m.sends[s*m.p+r] {
+				if ref.idx < pcs[s] || m.isConsumed(consumed, ref.gid) {
+					continue
+				}
+				if ev.tag == -1 || ev.tag == ref.tag {
+					return s
+				}
+			}
+		}
+		return -1
+	}
+	var chain []string
+	seen := map[int]bool{}
+	for r := d; !seen[r]; {
+		seen[r] = true
+		next := waitsFor(r)
+		if next < 0 {
+			chain = append(chain, fmt.Sprintf("rank %d blocks", r))
+			break
+		}
+		chain = append(chain, fmt.Sprintf("rank %d waits for rank %d", r, next))
+		r = next
+	}
+	return strings.Join(chain, ", ")
+}

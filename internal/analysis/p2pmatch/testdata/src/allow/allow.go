@@ -1,0 +1,38 @@
+// Package allow exercises the //lint:allow escape hatch against p2pmatch
+// findings: line-above and same-line placement, the * wildcard, and a
+// misplaced directive that suppresses nothing.
+package allow
+
+import "comm"
+
+// vettedRing deadlocks, but the line-above directive suppresses the
+// finding.
+func vettedRing(c *comm.Comm) error {
+	r, p := c.Rank(), c.Size()
+	if p < 2 {
+		return nil
+	}
+	//lint:allow p2pmatch Vetted by hand: an external token injector unblocks the ring.
+	_ = c.Recv((r+1)%p, 3)
+	c.Send((r+p-1)%p, 3, r)
+	return nil
+}
+
+// vettedOrphan's unmatched receive is suppressed by a same-line * wildcard
+// directive.
+func vettedOrphan(c *comm.Comm) error {
+	if c.Rank() == 0 && c.Size() > 1 {
+		_ = c.Recv(1, 9) //lint:allow * Fault-injection hook: the peer is intentionally silent here.
+	}
+	return nil
+}
+
+// stale's directive sits two lines above the finding and covers nothing.
+func stale(c *comm.Comm) error {
+	if c.Rank() == 0 && c.Size() > 1 {
+		//lint:allow p2pmatch Misplaced: a directive only covers its own line and the next.
+
+		_ = c.Recv(1, 9) // want `unmatched receive`
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+// Package comm is a miniature mirror of the real comm fabric: just enough
+// surface for p2pmatch to recognize ranks, point-to-point primitives,
+// collectives, and protocol launches. The analyzer matches packages by
+// path suffix, so this fake exercises the same code paths as the real
+// tree.
+package comm
+
+// AnySource matches any sending rank.
+const AnySource = -1
+
+// AnyTag matches any message tag.
+const AnyTag = -1
+
+// Message mirrors the real delivery envelope.
+type Message struct {
+	Src, Tag int
+	Payload  any
+}
+
+// Comm is the fake communicator.
+type Comm struct {
+	rank, size int
+}
+
+// Rank returns this rank's index.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return c.size }
+
+// Transport names the wire implementation — identical on every rank.
+func (c *Comm) Transport() string { return "inproc" }
+
+// Barrier is a collective.
+func (c *Comm) Barrier() {}
+
+// Split is a collective returning a subcommunicator.
+func (c *Comm) Split(color, key int) *Comm { return c }
+
+// Send is the eager point-to-point send.
+func (c *Comm) Send(dst, tag int, payload any) {}
+
+// Recv is the blocking point-to-point receive.
+func (c *Comm) Recv(src, tag int) any { return nil }
+
+// RecvMsg is Recv returning the full envelope.
+func (c *Comm) RecvMsg(src, tag int) Message { return Message{} }
+
+// SendRecv sends to dst then receives from src.
+func (c *Comm) SendRecv(dst int, payload any, src, tag int) any { return nil }
+
+// Probe reports without blocking whether a matching message is queued.
+func (c *Comm) Probe(src, tag int) (Message, bool) { return Message{}, false }
+
+// Run launches fn on size ranks, the protocol-scope entry point.
+func Run(size int, fn func(c *Comm) error) error { return nil }
+
+// Bcast is a package-level collective (first param *Comm).
+func Bcast(c *Comm, root int, buf []float64) {}

@@ -1,0 +1,48 @@
+// Package loops exercises bounded unrolling: pipelines and fan-ins whose
+// loop bounds are functions of c.Size(), plus a loop-carried deadlock.
+package loops
+
+import "comm"
+
+// pipeline hands a token down the ranks one hop per step. The loop bound
+// p-1 concretizes per size; certified for every P — a negative control.
+func pipeline(c *comm.Comm) error {
+	r, p := c.Rank(), c.Size()
+	for step := 0; step < p-1; step++ {
+		if r == step {
+			c.Send(r+1, 4, r)
+		}
+		if r == step+1 {
+			_ = c.Recv(r-1, 4)
+		}
+	}
+	return nil
+}
+
+// fanIn gathers one message per peer with concrete sources — a negative
+// control.
+func fanIn(c *comm.Comm) error {
+	r, p := c.Rank(), c.Size()
+	if r == 0 {
+		for i := 1; i < p; i++ {
+			_ = c.Recv(i, 4)
+		}
+		return nil
+	}
+	c.Send(0, 4, r)
+	return nil
+}
+
+// relay is a loop-carried symmetric deadlock: every iteration receives
+// from the next rank before sending to the previous one.
+func relay(c *comm.Comm) error {
+	r, p := c.Rank(), c.Size()
+	if p < 2 {
+		return nil
+	}
+	for i := 0; i < 2; i++ {
+		_ = c.Recv((r+1)%p, 6) // want `rendezvous cycle`
+		c.Send((r+p-1)%p, 6, r)
+	}
+	return nil
+}

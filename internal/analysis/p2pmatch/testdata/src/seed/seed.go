@@ -1,0 +1,27 @@
+// Package seed is the p2pmatch true-positive check wired into
+// scripts/verify.sh: unlike the sibling testdata packages it imports the
+// real comm fabric, and it carries no p2pmatch suppressions, so running
+// odinvet over this directory — standalone or through `go vet -vettool` —
+// must fail with a p2pmatch finding. Living under testdata keeps it out of
+// every `./...` walk; verify.sh targets the directory explicitly.
+package seed
+
+import "odinhpc/internal/comm"
+
+// ringTag keeps tagcheck quiet: tags must be named constants, and this
+// seed must be a pure p2pmatch signal in vettool mode where every analyzer
+// runs.
+const ringTag = 3
+
+// SymmetricRing is the textbook recv-before-send ring: every rank blocks
+// in Recv waiting for its predecessor, so no rank ever reaches its Send —
+// the rendezvous cycle p2pmatch must always flag.
+func SymmetricRing(c *comm.Comm) error {
+	r, p := c.Rank(), c.Size()
+	if p < 2 {
+		return nil
+	}
+	got := c.Recv((r+p-1)%p, ringTag)
+	c.Send((r+1)%p, ringTag, got)
+	return nil
+}

@@ -1,0 +1,52 @@
+// Package wild exercises AnySource/AnyTag wildcard matching: a safe token
+// pool, a receive-count mismatch, and the wildcard/collective exclusion.
+package wild
+
+import "comm"
+
+// tokenPool collects one token per worker with a wildcard source; every
+// schedule completes — a negative control.
+func tokenPool(c *comm.Comm) error {
+	r, p := c.Rank(), c.Size()
+	if r == 0 {
+		for i := 1; i < p; i++ {
+			_ = c.Recv(comm.AnySource, 5)
+		}
+		return nil
+	}
+	c.Send(0, 5, r)
+	return nil
+}
+
+// tokenPoolOffByOne posts one more receive than there are workers.
+func tokenPoolOffByOne(c *comm.Comm) error {
+	r, p := c.Rank(), c.Size()
+	if p < 2 {
+		return nil
+	}
+	if r == 0 {
+		for i := 0; i < p; i++ {
+			_ = c.Recv(comm.AnySource, 5) // want `send/receive count mismatch`
+		}
+		return nil
+	}
+	c.Send(0, 5, r)
+	return nil
+}
+
+// wildBarrier mixes a wildcard receive with a collective: the barrier
+// over-approximation makes wildcard matching unprovable.
+func wildBarrier(c *comm.Comm) error {
+	r, p := c.Rank(), c.Size()
+	if p < 2 {
+		return nil
+	}
+	if r == 1 {
+		c.Send(0, 8, r)
+	}
+	if r == 0 {
+		_ = c.Recv(comm.AnySource, 8) // want `cannot certify point-to-point protocol: wildcard receive mixed with collective`
+	}
+	comm.Bcast(c, 0, nil)
+	return nil
+}

@@ -41,6 +41,7 @@ func localVec(c *comm.Comm, n int) []float64 {
 
 func TestChaosCollectives(t *testing.T) {
 	kernels := []chaostest.Kernel{
+		//lint:allow p2pmatch Chaos kernels are table literals; each body is a uniform collective or a vetted ring exchange
 		{Name: "barrier-ring", Body: func(c *comm.Comm) (any, error) {
 			c.Barrier()
 			c.Barrier()
@@ -180,6 +181,7 @@ func TestChaosRecvTimeoutWatchdog(t *testing.T) {
 				// tagNever is never sent by anyone: the first watchdog to
 				// expire aborts the session and the abort latch wakes the
 				// remaining ranks — a typed error everywhere, never a hang.
+				//lint:allow p2pmatch Deliberate: tagNever is never sent, and the recv watchdog abort is the behavior under test
 				c.Recv(comm.AnySource, tagNever)
 				return nil
 			})
@@ -217,6 +219,7 @@ func TestChaosRecvTimeoutWakesPeers(t *testing.T) {
 			if c.Rank() == size-1 {
 				c.Recv(comm.AnySource, tagNever) // never sent: watchdog must fire
 			} else {
+				//lint:allow p2pmatch Deliberate: the unmatched receives provoke the watchdog, and the abort latch waking peers is the subject
 				c.Recv(size-1, tagStuck) // blocked on the stuck rank: latch must wake it
 			}
 			return nil

@@ -154,8 +154,8 @@ func (e *tcpEndpoint) start() {
 			continue
 		}
 		e.wg.Add(2)
-		go tc.readLoop()  //lint:allow planreuse ownership handoff: this goroutine is the conn's sole reader
-		go tc.writeLoop() //lint:allow planreuse ownership handoff: this goroutine is the conn's sole writer
+		go tc.readLoop()  //lint:allow planreuse Ownership handoff: this goroutine is the conn's sole reader
+		go tc.writeLoop() //lint:allow planreuse Ownership handoff: this goroutine is the conn's sole writer
 	}
 }
 

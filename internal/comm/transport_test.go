@@ -35,6 +35,7 @@ func TestConfigRecvTimeoutWatchdog(t *testing.T) {
 			go func() {
 				_, err := comm.RunConfig(size, comm.Config{Transport: transport, RecvTimeout: 300 * time.Millisecond},
 					func(c *comm.Comm) error {
+						//lint:allow p2pmatch Deliberate: tagUnsent is never sent, and the recv timeout surfacing a typed error is the assertion
 						c.Recv(comm.AnySource, tagUnsent)
 						return nil
 					})
@@ -72,6 +73,7 @@ func TestConfigRecvTimeoutWakesPeers(t *testing.T) {
 				if c.Rank() == size-1 {
 					c.Recv(comm.AnySource, tagUnsent) // never sent: watchdog fires here
 				} else {
+					//lint:allow p2pmatch Deliberate: the unmatched receives provoke the watchdog and abort latch; never-hang is the assertion
 					c.Recv(size-1, tagAwaited) // blocked on the stuck rank: must be woken
 				}
 				return nil
@@ -165,6 +167,7 @@ func TestInjectedFaultIsNotTransportError(t *testing.T) {
 // exactly as over the in-process fabric.
 func TestTCPChaosConformance(t *testing.T) {
 	kernels := []chaostest.Kernel{
+		//lint:allow p2pmatch Conformance kernels are table literals invoked uniformly by every rank on each transport
 		{Name: "ring-sendrecv", Body: func(c *comm.Comm) (any, error) {
 			right := (c.Rank() + 1) % c.Size()
 			left := (c.Rank() - 1 + c.Size()) % c.Size()

@@ -30,7 +30,7 @@ func TestParallelForCoversEveryIndexOnce(t *testing.T) {
 func TestParallelForSerialIsSingleSpan(t *testing.T) {
 	e := New(WithWorkers(1))
 	var spans [][2]int
-	e.ParallelFor(100_000, func(lo, hi int) { spans = append(spans, [2]int{lo, hi}) }) //lint:allow hotalloc collecting the spans is the point of this test
+	e.ParallelFor(100_000, func(lo, hi int) { spans = append(spans, [2]int{lo, hi}) }) //lint:allow hotalloc Collecting the spans is the point of this test
 	if len(spans) != 1 || spans[0] != [2]int{0, 100_000} {
 		t.Fatalf("one-worker engine must run one [0,n) span, got %v", spans)
 	}
@@ -74,7 +74,7 @@ func TestParallelReduceEmptyUsesEmptyFold(t *testing.T) {
 	e := New(WithWorkers(4))
 	got := ParallelReduce(e, 0, func(lo, hi int) int {
 		if lo != 0 || hi != 0 {
-			t.Fatalf("empty reduce folded [%d,%d)", lo, hi) //lint:allow hotalloc failure path only
+			t.Fatalf("empty reduce folded [%d,%d)", lo, hi) //lint:allow hotalloc Failure path only
 		}
 		return -7
 	}, func(a, b int) int { return a + b })
@@ -91,7 +91,7 @@ func TestReduceTreeOrderIndependentOfWorkers(t *testing.T) {
 	shape := func(w int) string {
 		e := New(WithWorkers(w), WithGrain(1000))
 		return ParallelReduce(e, n, func(lo, hi int) string {
-			return fmt.Sprintf("[%d,%d)", lo, hi) //lint:allow hotalloc recording the combine shape is the point of this test
+			return fmt.Sprintf("[%d,%d)", lo, hi) //lint:allow hotalloc Recording the combine shape is the point of this test
 		}, func(a, b string) string { return "(" + a + "+" + b + ")" })
 	}
 	ref := shape(2)
@@ -130,7 +130,7 @@ func TestLowestChunkPanicWins(t *testing.T) {
 		}
 	}()
 	e.ParallelFor(1000, func(lo, hi int) {
-		panic(fmt.Sprintf("chunk%d", lo/10)) //lint:allow hotalloc panic path only
+		panic(fmt.Sprintf("chunk%d", lo/10)) //lint:allow hotalloc Panic path only
 	})
 	t.Fatal("ParallelFor did not panic")
 }

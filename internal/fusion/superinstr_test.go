@@ -204,6 +204,7 @@ func TestSuperinstructionBlockInvariance(t *testing.T) {
 		}
 		SetBlockSize(DefaultBlockSize)
 		ref := gatherBits(Eval(build()))
+		//lint:allow p2pmatch SumEval reduces through one Allreduce inside the fusion engine, vetted by the fusion suite
 		refSum := math.Float64bits(SumEval(build()))
 		for _, bs := range []int{16, 64, 1000, 4096, 1 << 16} {
 			SetBlockSize(bs)

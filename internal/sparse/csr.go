@@ -272,7 +272,7 @@ func (m *CSR) MulVecTrans(x, y []float64) {
 		return
 	}
 	out := exec.ParallelReduce(e, m.Rows, func(lo, hi int) []float64 {
-		acc := make([]float64, m.Cols) //lint:allow hotalloc one dense accumulator per chunk by design; amortized over the chunk's rows
+		acc := make([]float64, m.Cols) //lint:allow hotalloc One dense accumulator per chunk by design; amortized over the chunk's rows
 		for i := lo; i < hi; i++ {
 			xi := x[i]
 			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {

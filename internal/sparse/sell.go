@@ -271,7 +271,7 @@ func (m *SELL) MulVecTrans(x, y []float64) {
 		return
 	}
 	out := exec.ParallelReduce(e, m.Rows, func(lo, hi int) []float64 {
-		acc := make([]float64, m.Cols) //lint:allow hotalloc one dense accumulator per chunk by design; amortized over the chunk's rows
+		acc := make([]float64, m.Cols) //lint:allow hotalloc One dense accumulator per chunk by design; amortized over the chunk's rows
 		for i := lo; i < hi; i++ {
 			scatter(acc, i)
 		}

@@ -13,8 +13,9 @@ go build ./...
 go vet ./...
 
 # Domain invariants: the odinvet multichecker (internal/analysis) enforces
-# collective symmetry, collective-sequence ordering, tag hygiene, hot-kernel
-# allocation bans, span/stats pairing, and plan single-threadedness. Run
+# collective symmetry, collective-sequence ordering, point-to-point deadlock
+# freedom, tag hygiene, hot-kernel allocation bans, span/stats pairing, and
+# plan single-threadedness. Run
 # from source — no install step — and fail hard on any finding (see
 # DESIGN.md "Static analysis").
 go run ./cmd/odinvet ./...
@@ -34,6 +35,20 @@ if go vet -vettool=/tmp/odinhpc-odinvet ./internal/analysis/collorder/testdata/s
   exit 1
 fi
 grep -q collorder /tmp/odinhpc-vettool.out
+
+# p2pmatch true-positive: the seed package holds the textbook recv-before-
+# send symmetric ring against the real comm fabric, with no suppressions.
+# Both odinvet modes must report the rendezvous cycle and fail; a silent
+# pass means deadlock certification stopped certifying.
+if go run ./cmd/odinvet -checks=p2pmatch ./internal/analysis/p2pmatch/testdata/src/seed; then
+  echo "verify: odinvet (standalone) missed the p2pmatch seed true-positive" >&2
+  exit 1
+fi
+if go vet -vettool=/tmp/odinhpc-odinvet ./internal/analysis/p2pmatch/testdata/src/seed 2>/tmp/odinhpc-vettool-p2p.out; then
+  echo "verify: odinvet (vettool) missed the p2pmatch seed true-positive" >&2
+  exit 1
+fi
+grep -q p2pmatch /tmp/odinhpc-vettool-p2p.out
 
 go test ./...
 
